@@ -1,0 +1,107 @@
+//! Criterion benches wrapping the per-figure harnesses.
+//!
+//! Criterion measures the *wall time of the simulation*; the scientific
+//! result — the virtual-time latency/bandwidth series — is printed once per
+//! group so `cargo bench` regenerates the paper's numbers alongside the
+//! harness timings. Use `cargo run -p bench --bin figures` for the full
+//! sweeps.
+
+use bench::experiments::{self, ForwardDir};
+use bench::table::print_table;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig4(c: &mut Criterion) {
+    // Print the full series once.
+    print_table("Fig. 4 — Madeleine II over SISCI/SCI", &experiments::fig4());
+    let mut g = c.benchmark_group("fig4_sisci");
+    g.sample_size(10);
+    g.bench_function("oneway_8k", |b| {
+        b.iter(|| experiments::madeleine_oneway_us(madeleine::Protocol::Sisci, 8192, false))
+    });
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    print_table("Fig. 5 — Madeleine II over BIP/Myrinet", &experiments::fig5());
+    let mut g = c.benchmark_group("fig5_bip");
+    g.sample_size(10);
+    g.bench_function("oneway_8k", |b| {
+        b.iter(|| experiments::madeleine_oneway_us(madeleine::Protocol::Bip, 8192, false))
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    print_table(
+        "Fig. 6 — MPI implementations over SCI (bandwidth)",
+        &experiments::fig6(),
+    );
+    print_table(
+        "Fig. 6 — MPI implementations over SCI (latency)",
+        &experiments::fig6_latency(),
+    );
+    let mut g = c.benchmark_group("fig6_mpi");
+    g.sample_size(10);
+    g.bench_function("mpi_oneway_32k", |b| {
+        b.iter(|| experiments::mpi_oneway_us(madeleine::Protocol::Sisci, 32768))
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    print_table("Fig. 7 — Nexus/Madeleine II performance", &experiments::fig7());
+    let mut g = c.benchmark_group("fig7_nexus");
+    g.sample_size(10);
+    g.bench_function("rsr_oneway_4b", |b| {
+        b.iter(|| experiments::nexus_oneway_us(madeleine::Protocol::Sisci, 4))
+    });
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    print_table(
+        "Fig. 10 — forwarding bandwidth SISCI/SCI -> BIP/Myrinet",
+        &experiments::forwarding_figure(ForwardDir::SciToMyrinet),
+    );
+    let mut g = c.benchmark_group("fig10_forwarding");
+    g.sample_size(10);
+    g.bench_function("sci_to_myr_8k_pkt", |b| {
+        b.iter(|| experiments::forwarding_oneway_us(ForwardDir::SciToMyrinet, 8192, 65536))
+    });
+    g.finish();
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    print_table(
+        "Fig. 11 — forwarding bandwidth BIP/Myrinet -> SISCI/SCI",
+        &experiments::forwarding_figure(ForwardDir::MyrinetToSci),
+    );
+    let mut g = c.benchmark_group("fig11_forwarding");
+    g.sample_size(10);
+    g.bench_function("myr_to_sci_8k_pkt", |b| {
+        b.iter(|| experiments::forwarding_oneway_us(ForwardDir::MyrinetToSci, 8192, 65536))
+    });
+    g.finish();
+}
+
+fn bench_dma_ablation(c: &mut Criterion) {
+    print_table("SCI DMA ablation (§5.2.1)", &experiments::sci_dma_ablation());
+    let mut g = c.benchmark_group("sci_dma_ablation");
+    g.sample_size(10);
+    g.bench_function("dma_oneway_256k", |b| {
+        b.iter(|| experiments::madeleine_oneway_us(madeleine::Protocol::Sisci, 1 << 18, true))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig10,
+    bench_fig11,
+    bench_dma_ablation
+);
+criterion_main!(figures);

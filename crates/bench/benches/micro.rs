@@ -1,0 +1,63 @@
+//! Micro-benchmarks of the library internals (wall time): these measure
+//! the *simulator's* software cost — how fast the reproduction itself
+//! runs — not the modeled network time.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use madeleine::{Config, Madeleine, Protocol, RecvMode, SendMode};
+use madsim_net::{NetKind, WorldBuilder};
+
+/// A whole two-node SISCI session bootstrap.
+fn bench_session_init(c: &mut Criterion) {
+    let mut g = c.benchmark_group("session");
+    g.sample_size(20);
+    g.bench_function("init_sisci_pair", |b| {
+        b.iter(|| {
+            let mut wb = WorldBuilder::new(2);
+            wb.network("sci0", NetKind::Sci, &[0, 1]);
+            let world = wb.build();
+            let config = Config::one("ch", "sci0", Protocol::Sisci);
+            world.run(|env| {
+                let _mad = Madeleine::init(&env, &config);
+            });
+        })
+    });
+    g.finish();
+}
+
+/// Messages per wall-second through the full stack.
+fn bench_message_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("throughput");
+    g.sample_size(10);
+    for (name, n) in [("small_64b", 64usize), ("bulk_64k", 65536)] {
+        g.throughput(Throughput::Bytes(n as u64 * 100));
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut wb = WorldBuilder::new(2);
+                wb.network("sci0", NetKind::Sci, &[0, 1]);
+                let world = wb.build();
+                let config = Config::one("ch", "sci0", Protocol::Sisci);
+                world.run(|env| {
+                    let mad = Madeleine::init(&env, &config);
+                    let ch = mad.channel("ch");
+                    let data = vec![3u8; n];
+                    for _ in 0..100 {
+                        if env.id() == 0 {
+                            let mut m = ch.begin_packing(1);
+                            m.pack(&data, SendMode::Cheaper, RecvMode::Cheaper);
+                            m.end_packing();
+                        } else {
+                            let mut buf = vec![0u8; n];
+                            let mut m = ch.begin_unpacking();
+                            m.unpack(&mut buf, SendMode::Cheaper, RecvMode::Cheaper);
+                            m.end_unpacking();
+                        }
+                    }
+                });
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(micro, bench_session_init, bench_message_throughput);
+criterion_main!(micro);

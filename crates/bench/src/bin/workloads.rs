@@ -1,0 +1,24 @@
+//! Synthetic application workloads over the full stack.
+//!
+//! Usage: `cargo run -p bench --bin workloads [halo|rpc|transpose|pi|all]`
+
+use bench::table::print_table;
+use bench::workloads;
+
+fn main() {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    if matches!(what.as_str(), "halo" | "all") {
+        print_table("1-D halo exchange (ring, even/odd ordered)", &workloads::halo_exchange_scaling());
+    }
+    if matches!(what.as_str(), "rpc" | "all") {
+        print_table("Nexus RPC storm (clients -> one server)", &workloads::rpc_storm());
+    }
+    if matches!(what.as_str(), "transpose" | "all") {
+        print_table("MPI all-to-all matrix transpose", &workloads::transpose_workload());
+    }
+    if matches!(what.as_str(), "pi" | "all") {
+        let (pi, t) = workloads::monte_carlo_pi(4, 100_000);
+        println!("\n== Monte-Carlo pi, 4 ranks x 100k samples over BIP ==");
+        println!("pi = {pi:.4}   completion (virtual) = {t:.1} us");
+    }
+}

@@ -1,0 +1,15 @@
+//! # bench — the experiment harness regenerating every table and figure of
+//! the Madeleine II paper
+//!
+//! Each harness in [`experiments`] measures, in virtual time through the
+//! full simulated stack, the series the corresponding figure plots, and
+//! returns structured [`Series`] data. The `figures` binary prints them as
+//! tables; `EXPERIMENTS.md` records paper-vs-measured values. Criterion
+//! benches under `benches/` wrap the same harnesses.
+
+pub mod experiments;
+pub mod table;
+pub mod workloads;
+
+pub use experiments::*;
+pub use table::{print_table, Point, Series};

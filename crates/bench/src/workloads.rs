@@ -1,0 +1,174 @@
+//! Synthetic application workloads over the full stack — evaluation beyond
+//! the paper's microbenchmarks: what the motivating applications (RPC-based
+//! multithreaded runtimes, §1) actually see.
+
+use crate::table::Series;
+use mad_mpi::{Mpi, ReduceOp};
+use mad_nexus::Nexus;
+use madeleine::{Config, Madeleine, Protocol};
+use madsim_net::time;
+use madsim_net::{NetKind, WorldBuilder};
+use std::sync::Arc;
+
+/// 1-D halo exchange: virtual time per step (µs) as the rank count grows,
+/// for a fixed per-rank block, over SISCI and BIP.
+pub fn halo_exchange_scaling() -> Vec<Series> {
+    let mut out = Vec::new();
+    for protocol in [Protocol::Sisci, Protocol::Bip] {
+        let mut s = Series::new(format!("{protocol:?} halo, 8 kB faces"), "us/step");
+        for ranks in [2usize, 4, 8] {
+            s.push(ranks, halo_step_us(protocol, ranks, 8192));
+        }
+        out.push(s);
+    }
+    out
+}
+
+fn halo_step_us(protocol: Protocol, ranks: usize, face: usize) -> f64 {
+    let (net, kind) = match protocol {
+        Protocol::Bip => ("myr0", NetKind::Myrinet),
+        _ => ("sci0", NetKind::Sci),
+    };
+    let mut b = WorldBuilder::new(ranks);
+    b.network(net, kind, &(0..ranks).collect::<Vec<_>>());
+    let world = b.build();
+    let config = Config::one("mpi", net, protocol);
+    const STEPS: usize = 10;
+    let times = world.run(move |env| {
+        let mad = Madeleine::init(&env, &config);
+        let mpi = Mpi::init(&mad, "mpi");
+        let me = mpi.rank();
+        let size = mpi.size();
+        let data = vec![me as u8; face];
+        let mut buf = vec![0u8; face];
+        mpi.barrier();
+        let t0 = time::now();
+        for _ in 0..STEPS {
+            // Even/odd ordered neighbour exchange on a ring.
+            let right = (me + 1) % size;
+            let left = (me + size - 1) % size;
+            if me % 2 == 0 {
+                mpi.send(right, 1, &data);
+                mpi.recv(Some(left), Some(1), &mut buf);
+                mpi.recv(Some(right), Some(2), &mut buf);
+                mpi.send(left, 2, &data);
+            } else {
+                mpi.recv(Some(left), Some(1), &mut buf);
+                mpi.send(right, 1, &data);
+                mpi.send(left, 2, &data);
+                mpi.recv(Some(right), Some(2), &mut buf);
+            }
+        }
+        let dt = time::now().saturating_since(t0).as_micros_f64();
+        mpi.barrier();
+        dt / STEPS as f64
+    });
+    times.iter().cloned().fold(0.0f64, f64::max)
+}
+
+/// RPC storm: n-1 clients fire requests at one server; served requests per
+/// virtual millisecond, by cluster size.
+pub fn rpc_storm() -> Vec<Series> {
+    let mut s = Series::new("Nexus RPC storm over SISCI", "req/virt-ms");
+    for nodes in [2usize, 3, 5] {
+        s.push(nodes, rpc_storm_rate(nodes, 64, 40));
+    }
+    vec![s]
+}
+
+fn rpc_storm_rate(nodes: usize, req_size: usize, per_client: usize) -> f64 {
+    let mut b = WorldBuilder::new(nodes);
+    b.network("sci0", NetKind::Sci, &(0..nodes).collect::<Vec<_>>());
+    let world = b.build();
+    let config = Config::one("nx", "sci0", Protocol::Sisci);
+    let total = (nodes - 1) * per_client;
+    let times = world.run(move |env| {
+        let mad = Madeleine::init(&env, &config);
+        let nx = Nexus::new(Arc::clone(mad.channel("nx")));
+        if env.id() == 0 {
+            nx.register(1, |_, _| {});
+            let t0 = time::now();
+            nx.serve(total);
+            time::now().saturating_since(t0).as_micros_f64()
+        } else {
+            let payload = vec![1u8; req_size];
+            for _ in 0..per_client {
+                nx.send_rsr(0, 1, &payload);
+            }
+            0.0
+        }
+    });
+    total as f64 / (times[0] / 1000.0)
+}
+
+/// Matrix transpose (all-to-all) over SISCI: virtual time by matrix size.
+pub fn transpose_workload() -> Vec<Series> {
+    let ranks = 4usize;
+    let mut s = Series::new(format!("{ranks}-rank all-to-all transpose"), "us");
+    for n in [64usize, 256, 512] {
+        // n x n f64 matrix split in row blocks; each rank sends n/ranks x
+        // n/ranks tiles to every peer.
+        let tile_bytes = (n / ranks) * (n / ranks) * 8;
+        s.push(n, transpose_us(ranks, tile_bytes));
+    }
+    vec![s]
+}
+
+fn transpose_us(ranks: usize, tile_bytes: usize) -> f64 {
+    let mut b = WorldBuilder::new(ranks);
+    b.network("sci0", NetKind::Sci, &(0..ranks).collect::<Vec<_>>());
+    let world = b.build();
+    let config = Config::one("mpi", "sci0", Protocol::Sisci);
+    let times = world.run(move |env| {
+        let mad = Madeleine::init(&env, &config);
+        let mpi = Mpi::init(&mad, "mpi");
+        // Tile destined for rank r carries the sender's rank, so the
+        // receiver can verify provenance.
+        let blocks: Vec<Vec<u8>> = (0..mpi.size())
+            .map(|_| vec![mpi.rank() as u8; tile_bytes])
+            .collect();
+        mpi.barrier();
+        let t0 = time::now();
+        let got = mpi.alltoall(&blocks);
+        let dt = time::now().saturating_since(t0).as_micros_f64();
+        for (r, b) in got.iter().enumerate() {
+            assert!(b.iter().all(|&x| x == r as u8));
+        }
+        mpi.barrier();
+        dt
+    });
+    times.iter().cloned().fold(0.0f64, f64::max)
+}
+
+/// Monte-Carlo pi with periodic allreduce — compute/communicate mix.
+pub fn monte_carlo_pi(ranks: usize, samples_per_rank: usize) -> (f64, f64) {
+    let mut b = WorldBuilder::new(ranks);
+    b.network("myr0", NetKind::Myrinet, &(0..ranks).collect::<Vec<_>>());
+    let world = b.build();
+    let config = Config::one("mpi", "myr0", Protocol::Bip);
+    let out = world.run(move |env| {
+        let mad = Madeleine::init(&env, &config);
+        let mpi = Mpi::init(&mad, "mpi");
+        // Deterministic per-rank LCG "random" points.
+        let mut state = 0x9E37_79B9u64.wrapping_mul(mpi.rank() as u64 + 1);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut hits = 0usize;
+        for _ in 0..samples_per_rank {
+            let (x, y) = (next(), next());
+            if x * x + y * y <= 1.0 {
+                hits += 1;
+            }
+        }
+        let total = mpi.allreduce(ReduceOp::Sum, &[hits as f64])[0];
+        let pi = 4.0 * total / (samples_per_rank * mpi.size()) as f64;
+        (pi, time::now().as_micros_f64())
+    });
+    let pi = out[0].0;
+    let t = out.iter().map(|&(_, t)| t).fold(0.0f64, f64::max);
+    (pi, t)
+}

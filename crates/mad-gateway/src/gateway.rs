@@ -1,0 +1,357 @@
+//! The gateway packet-forwarding pipeline (paper §6.2.1, Fig. 9).
+//!
+//! A gateway node bridges two hop channels with **two threads and a
+//! dual-buffering strategy**: while one fragment is being received from the
+//! incoming network into one buffer, the previous fragment is sent from the
+//! other buffer onto the outgoing network. With balanced per-packet times
+//! the two overlap perfectly and the pipeline period is
+//! `max(recv, send) + software overhead` — the paper measures that overhead
+//! at roughly 50 µs per step.
+//!
+//! Copy avoidance follows §6.1 exactly:
+//!
+//! * outgoing protocol uses **static buffers** → obtain one from the
+//!   outgoing TM and receive the fragment *directly into it* (saves the
+//!   staging copy regardless of the incoming protocol);
+//! * incoming protocol uses static buffers, outgoing is dynamic → forward
+//!   straight **out of the arrival buffer**;
+//! * both static → the one unavoidable copy;
+//! * both dynamic → through a reusable staging buffer, no extra copies.
+
+use crate::generic_tm::{hop_recv, hop_send, recv_fragment_header};
+use crate::route::Route;
+use crate::vchannel::{route_of, VirtualChannelSpec};
+use crate::wire::FragHeader;
+use madeleine::bmm::SendPolicy;
+use madeleine::config::Config;
+use madeleine::flags::{RecvMode, SendMode};
+use madeleine::pmm::Pmm;
+use madeleine::stats::Stats;
+use madeleine::tm::StaticBuf;
+use madeleine::Madeleine;
+use madsim_net::time::{self, VDuration, VTime};
+use madsim_net::world::NodeEnv;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Gateway software overhead charged on the receiving half of each step.
+pub const GW_RECV_OVERHEAD_US: f64 = 15.0;
+/// Gateway software overhead charged on the sending half of each step
+/// (buffer exchange, demultiplexing, next-hop lookup).
+pub const GW_SEND_OVERHEAD_US: f64 = 35.0;
+
+/// Number of pipeline buffers (the paper's dual-buffering).
+const PIPELINE_DEPTH: usize = 2;
+
+/// Tunables of a node's forwarders — including the **bandwidth control**
+/// mechanism the paper's conclusion calls for: "the sharing of the gateway
+/// internal system bus bandwidth appears to be a central issue: some
+/// sophisticated bandwidth control mechanism is needed to regulate the
+/// incoming communication flow on gateways."
+#[derive(Clone, Copy, Debug)]
+pub struct GatewayConfig {
+    /// Cap the inbound payload rate per direction (MiB/s). Pacing the
+    /// receive side frees host-bus arbitration slots for the outgoing
+    /// transfers — see the `ablations` bench for the measured effect.
+    pub inbound_limit_mibps: Option<f64>,
+    /// Pipeline buffers per direction (the paper's dual buffering = 2).
+    pub depth: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            inbound_limit_mibps: None,
+            depth: PIPELINE_DEPTH,
+        }
+    }
+}
+
+/// Virtual-time token bucket regulating the inbound flow of one pipeline
+/// direction.
+struct RateLimiter {
+    bytes_per_us: f64,
+    next_allowed: VTime,
+}
+
+impl RateLimiter {
+    fn new(mibps: f64) -> Self {
+        RateLimiter {
+            bytes_per_us: mibps * 1.048576,
+            next_allowed: VTime::ZERO,
+        }
+    }
+
+    /// Block (in virtual time) until `len` more payload bytes may enter.
+    fn admit(&mut self, len: usize) {
+        let now = time::advance_to(self.next_allowed);
+        self.next_allowed =
+            now + VDuration::from_micros_f64(len as f64 / self.bytes_per_us);
+    }
+}
+
+enum GwPayload {
+    /// Reusable staging memory (dynamic→dynamic).
+    Dyn(Vec<u8>),
+    /// A buffer obtained from the *outgoing* TM and filled directly.
+    OutStatic(StaticBuf),
+    /// The *incoming* protocol's arrival buffer, forwarded as-is.
+    InStatic(StaticBuf),
+}
+
+struct Filled {
+    hdr: FragHeader,
+    payload: GwPayload,
+    ready: VTime,
+}
+
+/// Handle over a node's running forwarders; dropping it leaves them
+/// running, [`stop`](Gateway::stop) shuts them down once idle.
+pub struct Gateway {
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    stats: Vec<(String, Arc<Stats>)>,
+}
+
+impl Gateway {
+    /// Spawn the forwarding pipelines this node owes to `spec` (one
+    /// two-thread pipeline per direction per adjacency it gateways), with
+    /// the default configuration. Returns `None` on non-gateway nodes.
+    pub fn spawn(
+        env: &NodeEnv,
+        mad: &Madeleine,
+        config: &Config,
+        spec: &VirtualChannelSpec,
+    ) -> Option<Gateway> {
+        Self::spawn_with(env, mad, config, spec, GatewayConfig::default())
+    }
+
+    /// [`spawn`](Self::spawn) with explicit forwarder tunables.
+    pub fn spawn_with(
+        env: &NodeEnv,
+        mad: &Madeleine,
+        config: &Config,
+        spec: &VirtualChannelSpec,
+        gwcfg: GatewayConfig,
+    ) -> Option<Gateway> {
+        let me = env.id();
+        let route = Arc::new(route_of(env, config, spec));
+        let positions = route.gateway_positions(me);
+        if positions.is_empty() {
+            return None;
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+        let mut stats_out = Vec::new();
+        for i in positions {
+            // Two directions: left-to-right (hop i → hop i+1) and back.
+            for (hop_in, hop_out) in [(i, i + 1), (i + 1, i)] {
+                let in_pmm = Arc::clone(mad.channel(&spec.hops[hop_in]).pmm());
+                let out_pmm = Arc::clone(mad.channel(&spec.hops[hop_out]).pmm());
+                let stats = Stats::new();
+                stats_out.push((
+                    format!("{}:{}->{}", spec.name, spec.hops[hop_in], spec.hops[hop_out]),
+                    Arc::clone(&stats),
+                ));
+                threads.extend(spawn_direction(
+                    env,
+                    Arc::clone(&route),
+                    me,
+                    in_pmm,
+                    out_pmm,
+                    config,
+                    gwcfg,
+                    Arc::clone(&stats),
+                    Arc::clone(&stop),
+                ));
+            }
+        }
+        Some(Gateway {
+            stop,
+            threads,
+            stats: stats_out,
+        })
+    }
+
+    /// Per-direction copy/traffic counters (label, stats).
+    pub fn stats(&self) -> &[(String, Arc<Stats>)] {
+        &self.stats
+    }
+
+    /// Ask the forwarders to stop once idle and join them.
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::Release);
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_direction(
+    env: &NodeEnv,
+    route: Arc<Route>,
+    me: madsim_net::NodeId,
+    in_pmm: Arc<dyn Pmm>,
+    out_pmm: Arc<dyn Pmm>,
+    config: &Config,
+    gwcfg: GatewayConfig,
+    stats: Arc<Stats>,
+    stop: Arc<AtomicBool>,
+) -> Vec<JoinHandle<()>> {
+    let host = config.host.0;
+    let depth = gwcfg.depth.max(1);
+    let (filled_tx, filled_rx) = crossbeam::channel::bounded::<Filled>(depth);
+    let (free_tx, free_rx) = crossbeam::channel::bounded::<VTime>(depth);
+    for _ in 0..depth {
+        free_tx.send(VTime::ZERO).expect("fresh channel");
+    }
+
+    // ---- receiving half ----
+    let recv_handle = {
+        let route = Arc::clone(&route);
+        let in_pmm = Arc::clone(&in_pmm);
+        let out_pmm = Arc::clone(&out_pmm);
+        let stats = Arc::clone(&stats);
+        let stop = Arc::clone(&stop);
+        let mut limiter = gwcfg.inbound_limit_mibps.map(RateLimiter::new);
+        env.spawn_thread(move || {
+            loop {
+                let Some(neighbor) = in_pmm.poll_incoming() else {
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_micros(20));
+                    continue;
+                };
+                // Dual buffering: wait (in virtual time too) for a free slot.
+                let Ok(slot_free_at) = free_rx.recv() else {
+                    return;
+                };
+                time::advance_to(slot_free_at);
+
+                let hdr = recv_fragment_header(&in_pmm, neighbor, host, &stats);
+                debug_assert_ne!(hdr.dst, me, "gateways are not endpoints");
+                // Bandwidth control: admit the payload at the regulated
+                // rate before pulling it across the bus.
+                if let Some(l) = limiter.as_mut() {
+                    l.admit(hdr.len);
+                }
+                let payload = receive_payload(&in_pmm, &out_pmm, neighbor, &hdr, host, &stats);
+                time::advance(VDuration::from_micros_f64(GW_RECV_OVERHEAD_US));
+                if std::env::var("GW_DEBUG").is_ok() {
+                    eprintln!("gw-recv frag len {} done at {:?}", hdr.len, time::now());
+                }
+                if filled_tx
+                    .send(Filled {
+                        hdr,
+                        payload,
+                        ready: time::now(),
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+                let _ = route; // route is used by the sending half only
+            }
+        })
+    };
+
+    // ---- sending half ----
+    let send_handle = {
+        let stats = Arc::clone(&stats);
+        env.spawn_thread(move || {
+            while let Ok(Filled {
+                hdr,
+                payload,
+                ready,
+            }) = filled_rx.recv()
+            {
+                time::advance_to(ready);
+                let (_hop, next) = route.next_leg(me, hdr.dst);
+                hop_send(
+                    &out_pmm,
+                    next,
+                    &hdr.encode(),
+                    RecvMode::Express,
+                    host,
+                    &stats,
+                );
+                match payload {
+                    GwPayload::Dyn(v) => {
+                        if !v.is_empty() {
+                            hop_send(&out_pmm, next, &v, RecvMode::Cheaper, host, &stats);
+                        }
+                    }
+                    GwPayload::OutStatic(buf) => {
+                        let id = out_pmm.select(buf.len(), SendMode::Cheaper, RecvMode::Cheaper);
+                        out_pmm.tm(id).send_static_buffer(next, buf);
+                        stats.record_buffer_sent();
+                    }
+                    GwPayload::InStatic(buf) => {
+                        hop_send(&out_pmm, next, buf.filled(), RecvMode::Cheaper, host, &stats);
+                    }
+                }
+                time::advance(VDuration::from_micros_f64(GW_SEND_OVERHEAD_US));
+                if std::env::var("GW_DEBUG").is_ok() {
+                    eprintln!("gw-send frag len {} done at {:?}", hdr.len, time::now());
+                }
+                if free_tx.send(time::now()).is_err() {
+                    return;
+                }
+            }
+        })
+    };
+
+    vec![recv_handle, send_handle]
+}
+
+/// Receive one fragment payload using the §6.1 copy-avoidance matrix.
+fn receive_payload(
+    in_pmm: &Arc<dyn Pmm>,
+    out_pmm: &Arc<dyn Pmm>,
+    neighbor: madsim_net::NodeId,
+    hdr: &FragHeader,
+    host: madeleine::config::HostModel,
+    stats: &Arc<Stats>,
+) -> GwPayload {
+    if hdr.len == 0 {
+        return GwPayload::Dyn(Vec::new());
+    }
+    let out_id = out_pmm.select(hdr.len, SendMode::Cheaper, RecvMode::Cheaper);
+    let out_tm = out_pmm.tm(out_id);
+    let out_static = out_pmm.policy(out_id) == SendPolicy::StaticCopy;
+    let in_id = in_pmm.select(hdr.len, SendMode::Cheaper, RecvMode::Cheaper);
+    let in_tm = in_pmm.tm(in_id);
+    let in_static = in_pmm.policy(in_id) == SendPolicy::StaticCopy;
+
+    if out_static && hdr.len <= out_tm.caps().buffer_cap {
+        // Receive straight into the outgoing protocol's buffer.
+        let mut buf = out_tm.obtain_static_buffer();
+        hop_recv(
+            in_pmm,
+            neighbor,
+            &mut buf.spare_mut()[..hdr.len],
+            RecvMode::Cheaper,
+            host,
+            stats,
+        );
+        buf.advance(hdr.len);
+        GwPayload::OutStatic(buf)
+    } else if in_static && hdr.len <= in_tm.caps().buffer_cap {
+        // Forward the arrival buffer itself.
+        let buf = in_tm.receive_static_buffer(neighbor);
+        assert_eq!(
+            buf.len(),
+            hdr.len,
+            "arrival buffer does not match the fragment header"
+        );
+        GwPayload::InStatic(buf)
+    } else {
+        let mut v = vec![0u8; hdr.len];
+        hop_recv(in_pmm, neighbor, &mut v, RecvMode::Cheaper, host, stats);
+        GwPayload::Dyn(v)
+    }
+}

@@ -1,0 +1,412 @@
+//! The Generic Transmission Module (paper §6.1).
+//!
+//! Raw forwarding between heterogeneous transmission modules is impossible
+//! because each network's BMM groups buffers differently; re-grouping at
+//! every gateway would be prohibitive. The paper's answer: route **all**
+//! inter-cluster traffic through one *Generic TM*, used by both end nodes
+//! as the interface between their BMMs and the real TMs, so data is handled
+//! identically on both ends and gateways can forward fragments blindly.
+//!
+//! The Generic TM here is a [`TransmissionModule`] fed by the aggregating
+//! BMM: each user block is fragmented — **zero-copy, by slicing** — into
+//! MTU-bounded payloads, each prefixed by its self-description
+//! ([`FragHeader`]) and pushed through the *real* TMs of the first hop
+//! channel, selected by the hop PMM's own switch function. A fragment thus
+//! rides BIP's rendezvous path or SISCI's dual-buffered PIO exactly as
+//! native traffic would, and the receiving end reassembles fragments
+//! directly into the user's destination blocks. Fragments never span
+//! blocks, so no regrouping state exists anywhere and gateways stay
+//! stateless. Madeleine II's portability is untouched: nothing here names
+//! a protocol.
+
+use crate::route::Route;
+use crate::wire::{FragHeader, FRAG_HEADER_LEN};
+use bytes::Bytes;
+use madeleine::bmm::{RecvBmm, SendBmm, SendPolicy};
+use madeleine::config::HostModel;
+use madeleine::flags::{RecvMode, SendMode};
+use madeleine::pmm::Pmm;
+use madeleine::stats::Stats;
+use madeleine::tm::{TmCaps, TmId, TransmissionModule};
+use madsim_net::time;
+use madsim_net::NodeId;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Send one logical buffer through a hop channel's real TMs, honouring the
+/// hop's own TM selection and buffer policy.
+pub(crate) fn hop_send(
+    pmm: &Arc<dyn Pmm>,
+    next: NodeId,
+    data: &[u8],
+    rmode: RecvMode,
+    host: HostModel,
+    stats: &Arc<Stats>,
+) {
+    let id = pmm.select(data.len(), SendMode::Cheaper, rmode);
+    let mut bmm = SendBmm::new(
+        pmm.policy(id),
+        pmm.tm(id),
+        next,
+        host,
+        Arc::clone(stats),
+    );
+    bmm.pack(data, SendMode::Cheaper);
+    bmm.flush();
+}
+
+/// Receive one logical buffer from a hop channel (mirror of [`hop_send`]).
+pub(crate) fn hop_recv(
+    pmm: &Arc<dyn Pmm>,
+    from: NodeId,
+    dst: &mut [u8],
+    rmode: RecvMode,
+    host: HostModel,
+    stats: &Arc<Stats>,
+) {
+    let id = pmm.select(dst.len(), SendMode::Cheaper, rmode);
+    let mut bmm = RecvBmm::new(
+        pmm.policy(id),
+        pmm.tm(id),
+        from,
+        host,
+        Arc::clone(stats),
+    );
+    bmm.unpack_express_now(dst);
+}
+
+/// Send a complete fragment (header + payload) down a hop.
+pub(crate) fn send_fragment(
+    pmm: &Arc<dyn Pmm>,
+    next: NodeId,
+    header: &FragHeader,
+    payload: &[u8],
+    host: HostModel,
+    stats: &Arc<Stats>,
+) {
+    let hdr = header.encode();
+    hop_send(pmm, next, &hdr, RecvMode::Express, host, stats);
+    if !payload.is_empty() {
+        hop_send(pmm, next, payload, RecvMode::Cheaper, host, stats);
+    }
+}
+
+/// Receive the header of the next fragment from `from`.
+pub(crate) fn recv_fragment_header(
+    pmm: &Arc<dyn Pmm>,
+    from: NodeId,
+    host: HostModel,
+    stats: &Arc<Stats>,
+) -> FragHeader {
+    let mut hdr = [0u8; FRAG_HEADER_LEN];
+    hop_recv(pmm, from, &mut hdr, RecvMode::Express, host, stats);
+    FragHeader::decode(&hdr)
+}
+
+/// The Generic TM of one end node on one virtual channel.
+pub struct GenericTm {
+    route: Arc<Route>,
+    me: NodeId,
+    mtu: usize,
+    /// `hop_pmms[i]` is hop *i*'s protocol module, present for the hops
+    /// this node belongs to.
+    hop_pmms: Vec<Option<Arc<dyn Pmm>>>,
+    host: HostModel,
+    stats: Arc<Stats>,
+    /// Fragments already pulled off the wire, queued by originating node.
+    pending: Mutex<HashMap<NodeId, VecDeque<Bytes>>>,
+    /// Header of a fragment whose payload transfer was initiated early
+    /// (`(neighbor, header)`): the protocol-level handshake has fired, the
+    /// data is in flight while we do other work.
+    prefetched: Mutex<Option<(NodeId, FragHeader)>>,
+}
+
+impl GenericTm {
+    pub(crate) fn new(
+        route: Arc<Route>,
+        me: NodeId,
+        mtu: usize,
+        hop_pmms: Vec<Option<Arc<dyn Pmm>>>,
+        host: HostModel,
+        stats: Arc<Stats>,
+    ) -> Self {
+        GenericTm {
+            route,
+            me,
+            mtu,
+            hop_pmms,
+            host,
+            stats,
+            pending: Mutex::new(HashMap::new()),
+            prefetched: Mutex::new(None),
+        }
+    }
+
+    fn my_hop(&self) -> usize {
+        let hops = self.route.hops_of(self.me);
+        assert_eq!(
+            hops.len(),
+            1,
+            "virtual-channel endpoints must not be gateways (node {})",
+            self.me
+        );
+        hops[0]
+    }
+
+    fn hop_pmm(&self, hop: usize) -> &Arc<dyn Pmm> {
+        self.hop_pmms[hop]
+            .as_ref()
+            .expect("node holds the channels of its own hops")
+    }
+
+    /// Pull the next fragment off the wire (blocking) and queue it; returns
+    /// its originating node.
+    fn ingest_one(&self) -> NodeId {
+        let hop = self.my_hop();
+        let pmm = self.hop_pmm(hop);
+        let (neighbor, h) = match self.prefetched.lock().take() {
+            Some(x) => x,
+            None => {
+                let neighbor = pmm.wait_incoming();
+                let h = recv_fragment_header(pmm, neighbor, self.host, &self.stats);
+                (neighbor, h)
+            }
+        };
+        assert_eq!(
+            h.dst, self.me,
+            "end node {} received a fragment addressed to {} — broken route?",
+            self.me, h.dst
+        );
+        let mut payload = vec![0u8; h.len];
+        if h.len > 0 {
+            hop_recv(
+                pmm,
+                neighbor,
+                &mut payload,
+                RecvMode::Cheaper,
+                self.host,
+                &self.stats,
+            );
+        }
+        self.pending
+            .lock()
+            .entry(h.src)
+            .or_default()
+            .push_back(Bytes::from(payload));
+        // Look ahead: if another fragment is already announced, read its
+        // header now and fire the payload TM's handshake so the transfer
+        // (a background NIC operation) overlaps our caller's copy-out.
+        self.try_prefetch_next();
+        h.src
+    }
+
+    fn try_prefetch_next(&self) {
+        let mut slot = self.prefetched.lock();
+        if slot.is_some() {
+            return;
+        }
+        let hop = self.my_hop();
+        let pmm = self.hop_pmm(hop);
+        if let Some(neighbor) = pmm.poll_incoming() {
+            let h = recv_fragment_header(pmm, neighbor, self.host, &self.stats);
+            if h.len > 0 {
+                let id = pmm.select(h.len, SendMode::Cheaper, RecvMode::Cheaper);
+                pmm.tm(id).prefetch(neighbor);
+            }
+            *slot = Some((neighbor, h));
+        }
+    }
+
+    /// Some node with a queued or announced fragment, if any (never
+    /// consumes wire data — peeks only the pending queue and the hop PMM).
+    pub(crate) fn poll_announced(&self) -> Option<NodeId> {
+        if let Some((&src, _)) = self
+            .pending
+            .lock()
+            .iter()
+            .find(|(_, q)| !q.is_empty())
+        {
+            return Some(src);
+        }
+        if self.prefetched.lock().is_some() {
+            return Some(self.ingest_one());
+        }
+        // Something is on the wire: we do not know the *final* source
+        // until its header is read, so ingest it now (blocking is fine:
+        // the fragment is already announced by the hop PMM).
+        let hop = self.my_hop();
+        if self.hop_pmm(hop).poll_incoming().is_some() {
+            return Some(self.ingest_one());
+        }
+        None
+    }
+}
+
+impl TransmissionModule for GenericTm {
+    fn name(&self) -> &'static str {
+        "generic"
+    }
+
+    fn caps(&self) -> TmCaps {
+        TmCaps {
+            static_buffers: false,
+            buffer_cap: usize::MAX,
+            gather: false,
+        }
+    }
+
+    /// Fragment one block into MTU-bounded slices — no copy; the slices go
+    /// straight to the hop TM.
+    fn send_buffer(&self, dst: NodeId, data: &[u8]) {
+        let (hop, next) = self.route.next_leg(self.me, dst);
+        let pmm = self.hop_pmm(hop);
+        for chunk in data.chunks(self.mtu.max(1)) {
+            let header = FragHeader {
+                src: self.me,
+                dst,
+                len: chunk.len(),
+            };
+            send_fragment(pmm, next, &header, chunk, self.host, &self.stats);
+            if std::env::var("GW_DEBUG").is_ok() {
+                eprintln!("origin frag {} sent at {:?}", chunk.len(), time::now());
+            }
+        }
+    }
+
+    fn send_buffer_group(&self, dst: NodeId, bufs: &[&[u8]]) {
+        // Fragments never span blocks: each block fragments independently,
+        // so the receiver can reassemble into its destination blocks with
+        // no description beyond the per-fragment header.
+        for b in bufs {
+            if !b.is_empty() {
+                self.send_buffer(dst, b);
+            }
+        }
+    }
+
+    /// Reassemble `dst` from its fragments, receiving payloads **directly
+    /// into the destination** whenever the next wire fragment is ours.
+    ///
+    /// While the block is incomplete another fragment is *certain* to
+    /// come, so the next header is read (and the payload TM's handshake
+    /// fired — see [`TransmissionModule::prefetch`]) **before** the current
+    /// payload's wait finishes consuming the clock: the next transfer
+    /// overlaps this one, the paper's pipelining claim at the end nodes.
+    fn receive_buffer(&self, src: NodeId, dst: &mut [u8]) {
+        let hop = self.my_hop();
+        let mut filled = 0;
+        while filled < dst.len() {
+            // Buffered fragment first (preserves per-source order).
+            if let Some(b) = self
+                .pending
+                .lock()
+                .get_mut(&src)
+                .and_then(|q| q.pop_front())
+            {
+                assert!(
+                    filled + b.len() <= dst.len(),
+                    "fragment overruns receive block: asymmetric traffic?"
+                );
+                dst[filled..filled + b.len()].copy_from_slice(&b);
+                time::advance(self.host.memcpy(b.len()));
+                self.stats.record_copy(b.len());
+                filled += b.len();
+                continue;
+            }
+            // Pull the next fragment off the wire. Blocking is safe: this
+            // block is incomplete, so a fragment for it must still arrive.
+            let pmm = self.hop_pmm(hop);
+            let (neighbor, h) = match self.prefetched.lock().take() {
+                Some(x) => x,
+                None => {
+                    let neighbor = pmm.wait_incoming();
+                    let h = recv_fragment_header(pmm, neighbor, self.host, &self.stats);
+                    if h.len > 0 {
+                        let id = pmm.select(h.len, SendMode::Cheaper, RecvMode::Cheaper);
+                        pmm.tm(id).prefetch(neighbor);
+                    }
+                    (neighbor, h)
+                }
+            };
+            assert_eq!(h.dst, self.me, "misrouted fragment");
+            if h.src == src {
+                assert!(
+                    filled + h.len <= dst.len(),
+                    "fragment overruns receive block: asymmetric traffic?"
+                );
+                if h.len > 0 {
+                    hop_recv(
+                        pmm,
+                        neighbor,
+                        &mut dst[filled..filled + h.len],
+                        RecvMode::Cheaper,
+                        self.host,
+                        &self.stats,
+                    );
+                }
+                filled += h.len;
+            } else {
+                // Interleaved flow from another source: buffer it.
+                let mut payload = vec![0u8; h.len];
+                if h.len > 0 {
+                    hop_recv(
+                        pmm,
+                        neighbor,
+                        &mut payload,
+                        RecvMode::Cheaper,
+                        self.host,
+                        &self.stats,
+                    );
+                }
+                self.pending
+                    .lock()
+                    .entry(h.src)
+                    .or_default()
+                    .push_back(Bytes::from(payload));
+            }
+        }
+    }
+}
+
+/// The protocol module wrapping [`GenericTm`]: one TM, StaticCopy policy —
+/// "all inter-cluster traffic is handled by a generic TM".
+pub struct GenericPmm {
+    tms: [Arc<dyn TransmissionModule>; 1],
+    generic: Arc<GenericTm>,
+}
+
+impl GenericPmm {
+    pub(crate) fn new(generic: Arc<GenericTm>) -> Self {
+        GenericPmm {
+            tms: [Arc::clone(&generic) as Arc<dyn TransmissionModule>],
+            generic,
+        }
+    }
+}
+
+impl Pmm for GenericPmm {
+    fn name(&self) -> &'static str {
+        "generic"
+    }
+
+    fn tms(&self) -> &[Arc<dyn TransmissionModule>] {
+        &self.tms
+    }
+
+    fn select(&self, _len: usize, _s: SendMode, _r: RecvMode) -> TmId {
+        0
+    }
+
+    fn policy(&self, _id: TmId) -> SendPolicy {
+        SendPolicy::Aggregate
+    }
+
+    fn wait_incoming(&self) -> NodeId {
+        madeleine::polling::PollPolicy::default().wait(|| self.generic.poll_announced())
+    }
+
+    fn poll_incoming(&self) -> Option<NodeId> {
+        self.generic.poll_announced()
+    }
+}

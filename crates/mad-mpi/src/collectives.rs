@@ -1,0 +1,246 @@
+//! Collective operations over the `ch_mad` device.
+//!
+//! Simple linear/binomial algorithms — enough to exercise the device with
+//! realistic MPI workloads (the paper's port exposes the full MPICH
+//! collective stack, which layers on the same point-to-point device).
+
+use crate::comm::Comm;
+use crate::p2p::P2p;
+
+/// Internal tag space (user tags must be non-negative, like in MPI).
+const TAG_BARRIER: i32 = -1;
+const TAG_BCAST: i32 = -2;
+const TAG_REDUCE: i32 = -3;
+const TAG_GATHER: i32 = -4;
+const TAG_ALLTOALL: i32 = -5;
+const TAG_SCATTER: i32 = -6;
+const TAG_ALLGATHER: i32 = -7;
+const TAG_SCAN: i32 = -8;
+
+/// Reduction operators over `f64`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Max,
+    Min,
+}
+
+impl ReduceOp {
+    pub(crate) fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+        }
+    }
+}
+
+/// Block until every rank has entered (linear fan-in to rank 0, fan-out).
+pub fn barrier(comm: &Comm, p2p: &P2p) {
+    let mut token = [0u8; 1];
+    if comm.rank() == 0 {
+        for r in 1..comm.size() {
+            p2p.recv(comm, Some(r), Some(TAG_BARRIER), &mut token);
+        }
+        for r in 1..comm.size() {
+            p2p.send(comm, r, TAG_BARRIER, &token);
+        }
+    } else {
+        p2p.send(comm, 0, TAG_BARRIER, &token);
+        p2p.recv(comm, Some(0), Some(TAG_BARRIER), &mut token);
+    }
+}
+
+/// Broadcast `buf` from `root` to every rank (MPICH's binomial tree).
+pub fn bcast(comm: &Comm, p2p: &P2p, root: usize, buf: &mut [u8]) {
+    let size = comm.size();
+    let me = (comm.rank() + size - root) % size; // virtual rank, root = 0
+    // Receive from the parent (the virtual rank with my lowest set bit
+    // cleared); the root falls through with mask = 2^ceil(log2 size).
+    let mut mask = 1usize;
+    while mask < size {
+        if me & mask != 0 {
+            let parent = (me ^ mask) + root;
+            p2p.recv(comm, Some(parent % size), Some(TAG_BCAST), buf);
+            break;
+        }
+        mask <<= 1;
+    }
+    // Forward to children: every bit position below where we received.
+    mask >>= 1;
+    while mask > 0 {
+        let child = me | mask;
+        if child != me && child < size {
+            p2p.send(comm, (child + root) % size, TAG_BCAST, buf);
+        }
+        mask >>= 1;
+    }
+}
+
+/// Element-wise reduction of `data` to `root`; returns the result there.
+pub fn reduce(
+    comm: &Comm,
+    p2p: &P2p,
+    root: usize,
+    op: ReduceOp,
+    data: &[f64],
+) -> Option<Vec<f64>> {
+    let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
+    if comm.rank() == root {
+        let mut acc = data.to_vec();
+        let mut buf = vec![0u8; bytes.len()];
+        for r in 0..comm.size() {
+            if r == root {
+                continue;
+            }
+            p2p.recv(comm, Some(r), Some(TAG_REDUCE), &mut buf);
+            for (i, chunk) in buf.chunks_exact(8).enumerate() {
+                let v = f64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+                acc[i] = op.apply(acc[i], v);
+            }
+        }
+        Some(acc)
+    } else {
+        p2p.send(comm, root, TAG_REDUCE, &bytes);
+        None
+    }
+}
+
+/// Reduction whose result lands on every rank.
+pub fn allreduce(comm: &Comm, p2p: &P2p, op: ReduceOp, data: &[f64]) -> Vec<f64> {
+    let reduced = reduce(comm, p2p, 0, op, data);
+    let mut bytes = match reduced {
+        Some(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect::<Vec<u8>>(),
+        None => vec![0u8; data.len() * 8],
+    };
+    bcast(comm, p2p, 0, &mut bytes);
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect()
+}
+
+/// Gather every rank's block at `root` (rank order).
+pub fn gather(comm: &Comm, p2p: &P2p, root: usize, data: &[u8]) -> Option<Vec<Vec<u8>>> {
+    if comm.rank() == root {
+        let mut out = vec![Vec::new(); comm.size()];
+        out[root] = data.to_vec();
+        for (r, slot) in out.iter_mut().enumerate() {
+            if r == root {
+                continue;
+            }
+            let mut buf = vec![0u8; 1 << 22];
+            let st = p2p.recv(comm, Some(r), Some(TAG_GATHER), &mut buf);
+            buf.truncate(st.len);
+            *slot = buf;
+        }
+        Some(out)
+    } else {
+        p2p.send(comm, root, TAG_GATHER, data);
+        None
+    }
+}
+
+/// Personalized all-to-all exchange: `blocks[r]` goes to rank `r`; returns
+/// the blocks received, indexed by source rank.
+pub fn alltoall(comm: &Comm, p2p: &P2p, blocks: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    assert_eq!(blocks.len(), comm.size(), "one block per rank");
+    let me = comm.rank();
+    let size = comm.size();
+    let mut out = vec![Vec::new(); size];
+    out[me] = blocks[me].clone();
+    // Pairwise exchange schedule (XOR pairing rounds for power-of-two
+    // sizes; rank-ordered exchange otherwise).
+    for round in 1..size.next_power_of_two() {
+        let peer = me ^ round;
+        if peer >= size {
+            continue;
+        }
+        let mut buf = vec![0u8; 1 << 22];
+        let st = p2p.sendrecv(
+            comm,
+            peer,
+            TAG_ALLTOALL,
+            &blocks[peer],
+            Some(peer),
+            Some(TAG_ALLTOALL),
+            &mut buf,
+        );
+        buf.truncate(st.len);
+        out[peer] = buf;
+    }
+    out
+}
+
+
+/// Scatter `blocks[r]` (present at `root`) to every rank `r`; returns this
+/// rank's block.
+pub fn scatter(comm: &Comm, p2p: &P2p, root: usize, blocks: Option<&[Vec<u8>]>) -> Vec<u8> {
+    if comm.rank() == root {
+        let blocks = blocks.expect("root provides the blocks");
+        assert_eq!(blocks.len(), comm.size(), "one block per rank");
+        for (r, b) in blocks.iter().enumerate() {
+            if r != root {
+                p2p.send(comm, r, TAG_SCATTER, b);
+            }
+        }
+        blocks[root].clone()
+    } else {
+        let mut buf = vec![0u8; 1 << 22];
+        let st = p2p.recv(comm, Some(root), Some(TAG_SCATTER), &mut buf);
+        buf.truncate(st.len);
+        buf
+    }
+}
+
+/// Every rank contributes a block; every rank receives all blocks, indexed
+/// by source rank (ring algorithm).
+pub fn allgather(comm: &Comm, p2p: &P2p, data: &[u8]) -> Vec<Vec<u8>> {
+    let size = comm.size();
+    let me = comm.rank();
+    let mut out = vec![Vec::new(); size];
+    out[me] = data.to_vec();
+    if size == 1 {
+        return out;
+    }
+    let right = (me + 1) % size;
+    let left = (me + size - 1) % size;
+    // Ring: in step s, pass along the block originally from (me - s).
+    for s in 0..size - 1 {
+        let send_idx = (me + size - s) % size;
+        let recv_idx = (me + size - s - 1) % size;
+        let mut buf = vec![0u8; 1 << 22];
+        let st = p2p.sendrecv(
+            comm,
+            right,
+            TAG_ALLGATHER,
+            &out[send_idx],
+            Some(left),
+            Some(TAG_ALLGATHER),
+            &mut buf,
+        );
+        buf.truncate(st.len);
+        out[recv_idx] = buf;
+    }
+    out
+}
+
+/// Inclusive prefix reduction: rank r receives op(data_0, ..., data_r),
+/// element-wise (linear chain).
+pub fn scan(comm: &Comm, p2p: &P2p, op: ReduceOp, data: &[f64]) -> Vec<f64> {
+    let me = comm.rank();
+    let mut acc = data.to_vec();
+    if me > 0 {
+        let mut buf = vec![0u8; data.len() * 8];
+        p2p.recv(comm, Some(me - 1), Some(TAG_SCAN), &mut buf);
+        for (i, chunk) in buf.chunks_exact(8).enumerate() {
+            let v = f64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+            acc[i] = op.apply(v, acc[i]);
+        }
+    }
+    if me + 1 < comm.size() {
+        let bytes: Vec<u8> = acc.iter().flat_map(|v| v.to_le_bytes()).collect();
+        p2p.send(comm, me + 1, TAG_SCAN, &bytes);
+    }
+    acc
+}

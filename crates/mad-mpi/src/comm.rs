@@ -1,0 +1,92 @@
+//! Communicators: rank/size view over a Madeleine channel.
+
+use madeleine::Channel;
+use madsim_net::NodeId;
+use std::sync::Arc;
+
+/// An MPI-style communicator bound to one Madeleine channel (the `ch_mad`
+/// device: every communicator operation becomes Madeleine messages).
+pub struct Comm {
+    chan: Arc<Channel>,
+    /// Sorted member node ids; the index is the rank.
+    members: Vec<NodeId>,
+    rank: usize,
+    /// Communicator context: messages match only within one context, so
+    /// sub-communicators sharing the channel cannot intercept each other's
+    /// traffic (MPI's context-id mechanism).
+    ctx: u16,
+}
+
+impl Comm {
+    /// Build the world communicator over `chan`. Collective by convention:
+    /// all channel members construct it.
+    pub fn world(chan: Arc<Channel>) -> Self {
+        Self::from_members(chan, None)
+    }
+
+    /// Build a communicator over an explicit subset of the channel's
+    /// members (e.g. the end nodes of a virtual channel, excluding the
+    /// gateways, so MPI can span clusters of clusters). `None` means all
+    /// channel members.
+    ///
+    /// # Panics
+    /// Panics if this node is not in the member set.
+    pub fn from_members(chan: Arc<Channel>, members: Option<&[NodeId]>) -> Self {
+        Self::with_context(chan, members, 0)
+    }
+
+    /// [`from_members`](Self::from_members) under an explicit context id
+    /// (used by [`crate::Mpi::split`]).
+    pub fn with_context(chan: Arc<Channel>, members: Option<&[NodeId]>, ctx: u16) -> Self {
+        let mut members = members
+            .map(|m| m.to_vec())
+            .unwrap_or_else(|| chan.peers().to_vec());
+        members.sort_unstable();
+        members.dedup();
+        let rank = members
+            .iter()
+            .position(|&n| n == chan.me())
+            .expect("this node is a communicator member");
+        Comm {
+            chan,
+            members,
+            rank,
+            ctx,
+        }
+    }
+
+    /// This communicator's context id.
+    pub fn ctx(&self) -> u16 {
+        self.ctx
+    }
+
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Node id of `rank`.
+    pub fn node_of(&self, rank: usize) -> NodeId {
+        self.members[rank]
+    }
+
+    /// Rank of node `id`.
+    pub fn rank_of(&self, id: NodeId) -> usize {
+        self.members
+            .iter()
+            .position(|&n| n == id)
+            .unwrap_or_else(|| panic!("node {id} is not in this communicator"))
+    }
+
+    pub(crate) fn channel(&self) -> &Arc<Channel> {
+        &self.chan
+    }
+
+    /// The channel this communicator runs over.
+    pub fn channel_pub(&self) -> &Arc<Channel> {
+        &self.chan
+    }
+}

@@ -1,0 +1,123 @@
+//! Nonblocking point-to-point: requests, test, wait.
+//!
+//! Receives are genuinely nonblocking: `irecv` posts a request that is
+//! matched lazily — `test` makes progress by draining arrived messages
+//! into the match (or the unexpected queue) without blocking; `wait`
+//! blocks until matched.
+//!
+//! Sends complete locally on every Madeleine protocol except BIP's
+//! long-message path, whose rendezvous blocks until the matching receive
+//! posts — so over BIP, `isend` of ≥ 1 kB has `MPI_Ssend`-like timing (the
+//! transfer happens inside the call). This mirrors the synchronous-send
+//! behaviour real MPICH exhibits over rendezvous-only devices with no
+//! asynchronous progress engine.
+
+use crate::comm::Comm;
+use crate::p2p::{P2p, Status};
+
+/// A pending nonblocking operation.
+pub struct Request<'a> {
+    kind: Kind<'a>,
+}
+
+enum Kind<'a> {
+    Recv {
+        src: Option<usize>,
+        tag: Option<i32>,
+        buf: &'a mut [u8],
+        done: Option<Status>,
+    },
+    /// Sends complete at creation (see module docs); the request is a
+    /// completed placeholder carrying the send's status.
+    SendDone(Status),
+}
+
+impl<'a> Request<'a> {
+    pub(crate) fn recv(src: Option<usize>, tag: Option<i32>, buf: &'a mut [u8]) -> Self {
+        Request {
+            kind: Kind::Recv {
+                src,
+                tag,
+                buf,
+                done: None,
+            },
+        }
+    }
+
+    pub(crate) fn send_done(dst: usize, tag: i32, len: usize) -> Self {
+        Request {
+            kind: Kind::SendDone(Status {
+                source: dst,
+                tag,
+                len,
+            }),
+        }
+    }
+
+    /// Completed status, if the request already finished.
+    pub fn status(&self) -> Option<Status> {
+        match &self.kind {
+            Kind::Recv { done, .. } => *done,
+            Kind::SendDone(st) => Some(*st),
+        }
+    }
+
+    /// Nonblocking progress: attempt to complete this request. Arrived
+    /// messages that do not match are drained into the unexpected queue.
+    pub fn test(&mut self, comm: &Comm, p2p: &P2p) -> Option<Status> {
+        match &mut self.kind {
+            Kind::SendDone(st) => Some(*st),
+            Kind::Recv {
+                src,
+                tag,
+                buf,
+                done,
+            } => {
+                if done.is_some() {
+                    return *done;
+                }
+                let st = p2p.try_match(comm, *src, *tag, buf);
+                *done = st;
+                st
+            }
+        }
+    }
+
+    /// Block until complete.
+    pub fn wait(mut self, comm: &Comm, p2p: &P2p) -> Status {
+        loop {
+            if let Some(st) = self.test(comm, p2p) {
+                return st;
+            }
+            // Block until *something* arrives on the channel, then retry
+            // the match (the arrival may be for another request and only
+            // feed the unexpected queue).
+            p2p.block_for_traffic(comm);
+        }
+    }
+}
+
+/// Wait for every request; statuses in request order.
+pub fn waitall<'a>(comm: &Comm, p2p: &P2p, reqs: Vec<Request<'a>>) -> Vec<Status> {
+    let mut reqs: Vec<Option<Request<'a>>> = reqs.into_iter().map(Some).collect();
+    let mut out: Vec<Option<Status>> = vec![None; reqs.len()];
+    loop {
+        let mut pending = false;
+        for (slot, st) in reqs.iter_mut().zip(out.iter_mut()) {
+            if st.is_some() {
+                continue;
+            }
+            let req = slot.as_mut().expect("unfinished requests are present");
+            if let Some(s) = req.test(comm, p2p) {
+                *st = Some(s);
+                *slot = None;
+            } else {
+                pending = true;
+            }
+        }
+        if !pending {
+            return out.into_iter().map(|s| s.expect("all complete")).collect();
+        }
+        p2p.block_for_traffic(comm);
+    }
+}

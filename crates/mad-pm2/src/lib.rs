@@ -1,0 +1,166 @@
+//! # mad-pm2 — a PM2-style LRPC runtime over Madeleine II
+//!
+//! PM2 ("Parallel Multithreaded Machine", Namyst & Méhaut — the paper's
+//! reference \[10\] and home project) is the RPC-based multithreaded
+//! environment Madeleine was designed to serve: its *lightweight remote
+//! procedure calls* are exactly the workload §1 and §2.2 motivate — a
+//! header the runtime must examine immediately (which service? how large
+//! are the arguments?) followed by dynamically-sized argument data that
+//! should move with zero copies.
+//!
+//! This crate reproduces that layer: a service registry, synchronous
+//! `rpc` (request + reply), fire-and-forget `async_rpc`, and **re-entrant
+//! request pumping** — a node blocked waiting for its reply keeps serving
+//! incoming requests, so nested RPC chains (A calls B, whose service calls
+//! back into A) cannot deadlock, which is the LRPC scheduling property PM2
+//! gets from its thread library.
+//!
+//! Wire format per message, packed through the ordinary Madeleine
+//! machinery (`receive_EXPRESS` envelope + `receive_CHEAPER` payload):
+//!
+//! ```text
+//! [ kind u8 | pad [u8;3] | service u32 | req_id u64 | len u32 ] [ payload ]
+//! ```
+
+use bytes::Bytes;
+use madeleine::{Channel, RecvMode, SendMode};
+use madsim_net::time::{self, VDuration};
+use madsim_net::NodeId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Per-call software overhead of the PM2 layer (service lookup, request
+/// bookkeeping, thread hand-off).
+pub const PM2_CALL_OVERHEAD_US: f64 = 3.0;
+
+const KIND_REQUEST: u8 = 1;
+const KIND_REPLY: u8 = 2;
+const ENVELOPE_LEN: usize = 20;
+
+/// A service: takes the caller's node id and the argument bytes, returns
+/// the reply bytes.
+pub type Service = Box<dyn Fn(&Pm2, NodeId, Bytes) -> Vec<u8> + Send + Sync>;
+
+/// A PM2 context on one node.
+pub struct Pm2 {
+    chan: Arc<Channel>,
+    services: Mutex<HashMap<u32, Arc<Service>>>,
+    next_req: AtomicU64,
+    /// Replies that arrived while pumping for a different request.
+    parked_replies: Mutex<HashMap<u64, Bytes>>,
+}
+
+impl Pm2 {
+    /// Attach a PM2 context to a channel (all members do the same).
+    pub fn new(chan: Arc<Channel>) -> Arc<Pm2> {
+        Arc::new(Pm2 {
+            chan,
+            services: Mutex::new(HashMap::new()),
+            next_req: AtomicU64::new(1),
+            parked_replies: Mutex::new(HashMap::new()),
+        })
+    }
+
+    pub fn me(&self) -> NodeId {
+        self.chan.me()
+    }
+
+    /// Register (or replace) service `id`.
+    pub fn register(
+        &self,
+        id: u32,
+        service: impl Fn(&Pm2, NodeId, Bytes) -> Vec<u8> + Send + Sync + 'static,
+    ) {
+        self.services.lock().insert(id, Arc::new(Box::new(service)));
+    }
+
+    /// Synchronous remote procedure call: ship `args` to `service` on
+    /// `dst`, pump incoming traffic (serving requests re-entrantly) until
+    /// the reply lands, and return it.
+    pub fn rpc(&self, dst: NodeId, service: u32, args: &[u8]) -> Bytes {
+        time::advance(VDuration::from_micros_f64(PM2_CALL_OVERHEAD_US));
+        let req_id = self.next_req.fetch_add(1, Ordering::Relaxed);
+        self.emit(dst, KIND_REQUEST, service, req_id, args);
+        loop {
+            if let Some(reply) = self.parked_replies.lock().remove(&req_id) {
+                return reply;
+            }
+            self.pump_one();
+        }
+    }
+
+    /// Fire-and-forget invocation: the service runs on `dst`; its return
+    /// value is discarded.
+    pub fn async_rpc(&self, dst: NodeId, service: u32, args: &[u8]) {
+        time::advance(VDuration::from_micros_f64(PM2_CALL_OVERHEAD_US));
+        self.emit(dst, KIND_REQUEST | 0x80, service, 0, args);
+    }
+
+    /// Serve exactly `n` incoming requests (replies to our own outstanding
+    /// calls do not count).
+    pub fn serve(&self, n: usize) {
+        let mut served = 0;
+        while served < n {
+            if self.pump_one() {
+                served += 1;
+            }
+        }
+    }
+
+    /// Receive and process one message; returns true if it was a request.
+    fn pump_one(&self) -> bool {
+        let mut msg = self.chan.begin_unpacking();
+        let src = msg.src();
+        let mut env = [0u8; ENVELOPE_LEN];
+        msg.unpack_express(&mut env, SendMode::Cheaper);
+        let kind = env[0];
+        let service = u32::from_le_bytes(env[4..8].try_into().expect("4 bytes"));
+        let req_id = u64::from_le_bytes(env[8..16].try_into().expect("8 bytes"));
+        let len = u32::from_le_bytes(env[16..20].try_into().expect("4 bytes")) as usize;
+        let mut payload = vec![0u8; len];
+        if len > 0 {
+            msg.unpack(&mut payload, SendMode::Cheaper, RecvMode::Cheaper);
+        }
+        msg.end_unpacking();
+        time::advance(VDuration::from_micros_f64(PM2_CALL_OVERHEAD_US));
+        let payload = Bytes::from(payload);
+
+        match kind & 0x7F {
+            KIND_REQUEST => {
+                let fire_and_forget = kind & 0x80 != 0;
+                let svc = self
+                    .services
+                    .lock()
+                    .get(&service)
+                    .cloned()
+                    .unwrap_or_else(|| panic!("no service registered for id {service}"));
+                let reply = svc(self, src, payload);
+                if !fire_and_forget {
+                    self.emit(src, KIND_REPLY, service, req_id, &reply);
+                }
+                true
+            }
+            KIND_REPLY => {
+                self.parked_replies.lock().insert(req_id, payload);
+                false
+            }
+            other => panic!("corrupt PM2 envelope kind {other}"),
+        }
+    }
+
+    fn emit(&self, dst: NodeId, kind: u8, service: u32, req_id: u64, payload: &[u8]) {
+        let mut env = [0u8; ENVELOPE_LEN];
+        env[0] = kind;
+        env[4..8].copy_from_slice(&service.to_le_bytes());
+        env[8..16].copy_from_slice(&req_id.to_le_bytes());
+        env[16..20].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        let mut msg = self.chan.begin_packing(dst);
+        msg.pack(&env, SendMode::Cheaper, RecvMode::Express);
+        if !payload.is_empty() {
+            msg.pack(payload, SendMode::Cheaper, RecvMode::Cheaper);
+        }
+        msg.end_packing();
+    }
+}

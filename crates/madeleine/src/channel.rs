@@ -1,0 +1,475 @@
+//! Channels, connections, and the message construction interface
+//! (paper §2, Table 1; Switch Module of §4).
+//!
+//! | paper | here |
+//! |---|---|
+//! | `mad_begin_packing` | [`Channel::begin_packing`] |
+//! | `mad_pack` | [`OutgoingMessage::pack`] |
+//! | `mad_end_packing` | [`OutgoingMessage::end_packing`] |
+//! | `mad_begin_unpacking` | [`Channel::begin_unpacking`] |
+//! | `mad_unpack` | [`IncomingMessage::unpack`] |
+//! | `mad_end_unpacking` | [`IncomingMessage::end_unpacking`] |
+//!
+//! The Switch Module logic lives in `pack`/`unpack`: each packet is routed
+//! to the TM chosen by the PMM; when the chosen TM differs from the previous
+//! packet's, the previous TM's BMM is flushed (*commit*) before the new one
+//! takes over, so delivery order is preserved across transfer methods; the
+//! final `end_packing` performs the terminal commit (mirrored by *checkout*
+//! on the receive side).
+//!
+//! ### The internal message header
+//!
+//! Every message opens with a 16-byte library header (magic, source node,
+//! per-connection sequence number) packed through the ordinary machinery
+//! with `(send_CHEAPER, receive_EXPRESS)` and flushed eagerly, so it always
+//! rides the protocol's small-message path and announces the message to the
+//! peer immediately. The header is how `begin_unpacking` learns the sender
+//! of the next incoming message — and doubles as a wire-level integrity
+//! check (sequence gaps and interleaving corruption panic loudly).
+
+use crate::bmm::{RecvBmm, SendBmm};
+use crate::config::HostModel;
+use crate::flags::{RecvMode, SendMode};
+use crate::pmm::Pmm;
+use crate::stats::Stats;
+use crate::tm::TmId;
+use crate::trace::{TraceEvent, Tracer};
+use bytes::Bytes;
+use madsim_net::time::{self, VDuration};
+use madsim_net::NodeId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const HEADER_MAGIC: u32 = 0x4D41_4432; // "MAD2"
+/// Size of the internal message header.
+pub const HEADER_LEN: usize = 16;
+
+/// A closed world for communication (paper §2.1): a set of point-to-point
+/// connections over one network interface and adapter. In-order delivery is
+/// guaranteed per connection within a channel.
+pub struct Channel {
+    name: String,
+    pmm: Arc<dyn Pmm>,
+    me: NodeId,
+    peers: Vec<NodeId>,
+    stats: Arc<Stats>,
+    host: HostModel,
+    /// Next message sequence number per destination.
+    send_seq: Mutex<HashMap<NodeId, u32>>,
+    /// Expected next sequence number per source.
+    recv_seq: Mutex<HashMap<NodeId, u32>>,
+    /// Outgoing messages begun but not yet finalized (must stay ≤ 1:
+    /// forgetting `end_packing` would silently lose queued blocks).
+    open_tx: AtomicUsize,
+    /// Incoming messages begun but not yet finalized.
+    open_rx: AtomicUsize,
+    /// Optional message-path tracer (see [`crate::trace`]).
+    tracer: Tracer,
+}
+
+impl Channel {
+    pub(crate) fn new(
+        name: String,
+        pmm: Arc<dyn Pmm>,
+        me: NodeId,
+        peers: Vec<NodeId>,
+        host: HostModel,
+        stats: Arc<Stats>,
+    ) -> Arc<Self> {
+        Self::with_pmm(name, pmm, me, peers, host, stats)
+    }
+
+    /// Extension constructor: build a channel over a custom protocol
+    /// module. This is how the inter-cluster extension (`mad-gateway`)
+    /// plugs its Generic Transmission Module under the unchanged generic
+    /// layer (paper §6.1: the forwarding mechanism is inserted *between*
+    /// BMMs and TMs).
+    pub fn with_pmm(
+        name: String,
+        pmm: Arc<dyn Pmm>,
+        me: NodeId,
+        peers: Vec<NodeId>,
+        host: HostModel,
+        stats: Arc<Stats>,
+    ) -> Arc<Self> {
+        Arc::new(Channel {
+            name,
+            pmm,
+            me,
+            peers,
+            stats,
+            host,
+            send_seq: Mutex::new(HashMap::new()),
+            recv_seq: Mutex::new(HashMap::new()),
+            open_tx: AtomicUsize::new(0),
+            open_rx: AtomicUsize::new(0),
+            tracer: Tracer::new(),
+        })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// This node's id in the session.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// All members of the channel (including this node).
+    pub fn peers(&self) -> &[NodeId] {
+        &self.peers
+    }
+
+    /// Copy/traffic counters of this channel.
+    pub fn stats(&self) -> &Arc<Stats> {
+        &self.stats
+    }
+
+    /// The protocol module driving this channel (exposed for extensions
+    /// such as the inter-cluster gateway).
+    pub fn pmm(&self) -> &Arc<dyn Pmm> {
+        &self.pmm
+    }
+
+    /// The host-side cost model of this channel's session.
+    pub fn host(&self) -> HostModel {
+        self.host
+    }
+
+    /// Start recording Switch/commit/checkout events on this channel.
+    pub fn enable_trace(&self) {
+        self.tracer.enable();
+    }
+
+    /// The channel's tracer (query recorded events, clear, disable).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Initiate a new outgoing message to `dst` (paper: `mad_begin_packing`).
+    ///
+    /// # Panics
+    /// Panics if `dst` is not a member of this channel or is this node.
+    pub fn begin_packing<'a>(&self, dst: NodeId) -> OutgoingMessage<'_, 'a> {
+        assert!(
+            self.peers.contains(&dst),
+            "node {dst} is not a member of channel {:?}",
+            self.name
+        );
+        assert_ne!(dst, self.me, "cannot send to self on channel {:?}", self.name);
+        assert_eq!(
+            self.open_tx.fetch_add(1, Ordering::AcqRel),
+            0,
+            "begin_packing on channel {:?} while a previous outgoing message \
+             was never end_packing'ed (its queued blocks are lost)",
+            self.name
+        );
+        time::advance(VDuration::from_micros_f64(self.host.begin_op_us));
+        let seq = {
+            let mut m = self.send_seq.lock();
+            let s = m.entry(dst).or_insert(0);
+            let cur = *s;
+            *s += 1;
+            cur
+        };
+        self.tracer.record(TraceEvent::BeginPacking { dst });
+        let mut msg = OutgoingMessage {
+            chan: self,
+            dst,
+            cur_tm: None,
+            bmm: None,
+            done: false,
+        };
+        let mut header = [0u8; HEADER_LEN];
+        header[0..4].copy_from_slice(&HEADER_MAGIC.to_le_bytes());
+        header[4..8].copy_from_slice(&(self.me as u32).to_le_bytes());
+        header[8..12].copy_from_slice(&seq.to_le_bytes());
+        msg.pack_internal(Bytes::copy_from_slice(&header));
+        msg
+    }
+
+    /// Has some peer started sending a message on this channel? (A `true`
+    /// guarantees the next [`begin_unpacking`](Self::begin_unpacking) will
+    /// not block waiting for an announcement.)
+    pub fn has_incoming(&self) -> bool {
+        self.pmm.poll_incoming().is_some()
+    }
+
+    /// Non-blocking [`begin_unpacking`](Self::begin_unpacking): `None`
+    /// when no message has been announced yet.
+    pub fn try_begin_unpacking<'a>(&self) -> Option<IncomingMessage<'_, 'a>> {
+        if self.pmm.poll_incoming().is_some() {
+            Some(self.begin_unpacking())
+        } else {
+            None
+        }
+    }
+
+    /// Initiate reception of the next incoming message on this channel
+    /// (paper: `mad_begin_unpacking`). Blocks until a message arrives;
+    /// the returned connection identifies the sender.
+    pub fn begin_unpacking<'a>(&self) -> IncomingMessage<'_, 'a> {
+        assert_eq!(
+            self.open_rx.fetch_add(1, Ordering::AcqRel),
+            0,
+            "begin_unpacking on channel {:?} while a previous incoming message \
+             was never end_unpacking'ed (its deferred blocks were never filled)",
+            self.name
+        );
+        time::advance(VDuration::from_micros_f64(self.host.begin_op_us));
+        let src = self.pmm.wait_incoming();
+        self.tracer.record(TraceEvent::BeginUnpacking { src });
+        let mut msg = IncomingMessage {
+            chan: self,
+            src,
+            cur_tm: None,
+            bmm: None,
+            done: false,
+        };
+        let mut header = [0u8; HEADER_LEN];
+        msg.unpack_internal(&mut header);
+        // If the wait went through an interrupt path, the wakeup latency
+        // counts from the arrival we just synchronized with.
+        time::advance(crate::polling::take_pending_wakeup_charge());
+        let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        assert_eq!(
+            magic, HEADER_MAGIC,
+            "corrupt message header on channel {:?} (asymmetric pack/unpack?)",
+            self.name
+        );
+        let hdr_src = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+        assert_eq!(
+            hdr_src, src,
+            "header source does not match announcing connection on {:?}",
+            self.name
+        );
+        let seq = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        {
+            let mut m = self.recv_seq.lock();
+            let expect = m.entry(src).or_insert(0);
+            assert_eq!(
+                seq, *expect,
+                "message sequence gap from node {src} on channel {:?}",
+                self.name
+            );
+            *expect += 1;
+        }
+        msg
+    }
+}
+
+/// An outgoing message under construction — the paper's send-side
+/// *connection* object returned by `mad_begin_packing`.
+///
+/// Lifetime `'a` covers all packed user blocks: `send_LATER` and
+/// `send_CHEAPER` blocks are read as late as `end_packing`, so they must
+/// outlive the message.
+pub struct OutgoingMessage<'c, 'a> {
+    chan: &'c Channel,
+    dst: NodeId,
+    cur_tm: Option<TmId>,
+    bmm: Option<SendBmm<'a>>,
+    done: bool,
+}
+
+impl<'c, 'a> OutgoingMessage<'c, 'a> {
+    /// Destination node of this message.
+    pub fn dst(&self) -> NodeId {
+        self.dst
+    }
+
+    /// Append one block to the message (paper: `mad_pack`).
+    pub fn pack(&mut self, data: &'a [u8], smode: SendMode, rmode: RecvMode) {
+        assert!(!self.done, "pack after end_packing");
+        time::advance(VDuration::from_micros_f64(self.chan.host.pack_op_us));
+        let tm = self.chan.pmm.select(data.len(), smode, rmode);
+        self.switch_to(tm);
+        self.chan.tracer.record(TraceEvent::Pack {
+            len: data.len(),
+            smode,
+            rmode,
+            tm,
+        });
+        let bmm = self.bmm.as_mut().expect("switched");
+        bmm.pack(data, smode);
+        // An EXPRESS block must be extractable as soon as the peer unpacks
+        // it, so it cannot linger in the aggregation queue — unless the
+        // caller forbade reading it before commit (LATER).
+        if rmode == RecvMode::Express && smode != SendMode::Later {
+            bmm.flush();
+        }
+    }
+
+    /// Pack a block with `send_SAFER` semantics through a short-lived
+    /// borrow: the data is captured during the call (by copy or by
+    /// synchronous transmission), so the caller may modify or free it as
+    /// soon as this returns — the ergonomic point of `send_SAFER`.
+    pub fn pack_safer(&mut self, data: &[u8], rmode: RecvMode) {
+        assert!(!self.done, "pack after end_packing");
+        time::advance(VDuration::from_micros_f64(self.chan.host.pack_op_us));
+        self.switch_to(self.chan.pmm.select(data.len(), SendMode::Safer, rmode));
+        let bmm = self.bmm.as_mut().expect("switched");
+        bmm.pack_safer_now(data);
+        if rmode == RecvMode::Express {
+            bmm.flush();
+        }
+    }
+
+    /// Pack a library-internal block (always `(CHEAPER, EXPRESS)`).
+    fn pack_internal(&mut self, data: Bytes) {
+        self.switch_to(
+            self.chan
+                .pmm
+                .select(data.len(), SendMode::Cheaper, RecvMode::Express),
+        );
+        let bmm = self.bmm.as_mut().expect("switched");
+        bmm.pack_owned(data);
+        bmm.flush();
+    }
+
+    fn switch_to(&mut self, tm: TmId) {
+        if self.cur_tm == Some(tm) {
+            return;
+        }
+        // Commit the previous BMM so delivery order is preserved across
+        // transfer methods (paper §4.1).
+        if let Some(mut old) = self.bmm.take() {
+            old.flush();
+            self.chan.tracer.record(TraceEvent::CommitOnSwitch {
+                from: self.cur_tm.expect("old BMM implies a current TM"),
+                to: tm,
+            });
+        }
+        self.cur_tm = Some(tm);
+        self.bmm = Some(SendBmm::with_tm_id(
+            self.chan.pmm.policy(tm),
+            self.chan.pmm.tm(tm),
+            tm,
+            self.dst,
+            self.chan.host,
+            Arc::clone(&self.chan.stats),
+        ));
+    }
+
+    /// Finalize the message (paper: `mad_end_packing`): every packed block
+    /// is guaranteed flushed to the network when this returns.
+    pub fn end_packing(mut self) {
+        if let Some(mut bmm) = self.bmm.take() {
+            bmm.flush();
+        }
+        time::advance(VDuration::from_micros_f64(self.chan.host.end_op_us));
+        self.chan.tracer.record(TraceEvent::EndPacking);
+        self.chan.stats.record_message();
+        self.chan.open_tx.fetch_sub(1, Ordering::AcqRel);
+        self.done = true;
+    }
+}
+
+/// An incoming message being consumed — the paper's receive-side
+/// *connection* object returned by `mad_begin_unpacking`.
+pub struct IncomingMessage<'c, 'a> {
+    chan: &'c Channel,
+    src: NodeId,
+    cur_tm: Option<TmId>,
+    bmm: Option<RecvBmm<'a>>,
+    done: bool,
+}
+
+impl<'c, 'a> IncomingMessage<'c, 'a> {
+    /// The sending node.
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// Extract one block (paper: `mad_unpack`). The `(smode, rmode)` pair
+    /// and `dst.len()` must mirror the sender's `pack` exactly.
+    ///
+    /// With `receive_EXPRESS` the data is in `dst` when this returns; with
+    /// `receive_CHEAPER` extraction may be deferred until a later express
+    /// block, a TM switch, or `end_unpacking`.
+    pub fn unpack(&mut self, dst: &'a mut [u8], smode: SendMode, rmode: RecvMode) {
+        assert!(!self.done, "unpack after end_unpacking");
+        time::advance(VDuration::from_micros_f64(self.chan.host.pack_op_us));
+        let tm = self.chan.pmm.select(dst.len(), smode, rmode);
+        self.switch_to(tm);
+        self.chan.tracer.record(TraceEvent::Unpack {
+            len: dst.len(),
+            smode,
+            rmode,
+            tm,
+        });
+        self.bmm.as_mut().expect("switched").unpack(dst, rmode);
+    }
+
+    /// Extract one `receive_EXPRESS` block through a short-lived borrow:
+    /// the data is in `dst` when this returns and the borrow ends with the
+    /// call, so the value can steer the following unpacks (the paper's
+    /// Fig. 1 pattern: read a length header, allocate, unpack the array).
+    pub fn unpack_express(&mut self, dst: &mut [u8], smode: SendMode) {
+        assert!(!self.done, "unpack after end_unpacking");
+        time::advance(VDuration::from_micros_f64(self.chan.host.pack_op_us));
+        let tm = self.chan.pmm.select(dst.len(), smode, RecvMode::Express);
+        self.switch_to(tm);
+        self.chan.tracer.record(TraceEvent::Unpack {
+            len: dst.len(),
+            smode,
+            rmode: RecvMode::Express,
+            tm,
+        });
+        self.bmm
+            .as_mut()
+            .expect("switched")
+            .unpack_express_now(dst);
+    }
+
+    /// Unpack a library-internal block (mirror of `pack_internal`).
+    fn unpack_internal(&mut self, dst: &mut [u8]) {
+        self.switch_to(
+            self.chan
+                .pmm
+                .select(dst.len(), SendMode::Cheaper, RecvMode::Express),
+        );
+        self.bmm
+            .as_mut()
+            .expect("switched")
+            .unpack_express_now(dst);
+    }
+
+    fn switch_to(&mut self, tm: TmId) {
+        if self.cur_tm == Some(tm) {
+            return;
+        }
+        // Checkout the previous BMM (mirror of the sender's commit).
+        if let Some(mut old) = self.bmm.take() {
+            old.checkout();
+            self.chan.tracer.record(TraceEvent::CheckoutOnSwitch {
+                from: self.cur_tm.expect("old BMM implies a current TM"),
+                to: tm,
+            });
+        }
+        self.cur_tm = Some(tm);
+        self.bmm = Some(RecvBmm::new(
+            self.chan.pmm.policy(tm),
+            self.chan.pmm.tm(tm),
+            self.src,
+            self.chan.host,
+            Arc::clone(&self.chan.stats),
+        ));
+    }
+
+    /// Finalize reception (paper: `mad_end_unpacking`): all blocks —
+    /// including deferred `receive_CHEAPER` ones — are available when this
+    /// returns.
+    pub fn end_unpacking(mut self) {
+        if let Some(mut bmm) = self.bmm.take() {
+            bmm.checkout();
+        }
+        time::advance(VDuration::from_micros_f64(self.chan.host.end_op_us));
+        self.chan.tracer.record(TraceEvent::EndUnpacking);
+        self.chan.open_rx.fetch_sub(1, Ordering::AcqRel);
+        self.done = true;
+    }
+}

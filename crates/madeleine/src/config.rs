@@ -1,0 +1,190 @@
+//! Session configuration.
+
+use crate::polling::PollPolicy;
+use madsim_net::stacks::bip::BipTiming;
+use madsim_net::stacks::sbp::SbpTiming;
+use madsim_net::stacks::sisci::SisciTiming;
+use madsim_net::stacks::tcp::TcpTiming;
+use madsim_net::stacks::via::ViaTiming;
+use madsim_net::time::VDuration;
+
+/// Which protocol stack drives a channel. A network fabric may admit more
+/// than one protocol (Ethernet carries both TCP and SBP), so the choice is
+/// explicit, mirroring Madeleine II's per-channel driver selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// TCP over Ethernet.
+    Tcp,
+    /// BIP over Myrinet.
+    Bip,
+    /// SISCI over SCI.
+    Sisci,
+    /// VIA over a SAN.
+    Via,
+    /// SBP (static buffers) over Ethernet.
+    Sbp,
+}
+
+/// Declaration of one communication channel (paper §2.1): a closed world of
+/// point-to-point connections bound to one network interface and adapter.
+#[derive(Clone, Debug)]
+pub struct ChannelSpec {
+    /// Channel name, unique within a session.
+    pub name: String,
+    /// Name of the network (as declared to the `WorldBuilder`) whose
+    /// adapter carries this channel.
+    pub network: String,
+    /// Protocol stack to drive.
+    pub protocol: Protocol,
+}
+
+impl ChannelSpec {
+    pub fn new(name: &str, network: &str, protocol: Protocol) -> Self {
+        ChannelSpec {
+            name: name.to_string(),
+            network: network.to_string(),
+            protocol,
+        }
+    }
+}
+
+/// Host-side cost model for the generic (protocol-independent) layer.
+#[derive(Clone, Copy, Debug)]
+pub struct HostModel {
+    /// Fixed cost of a memory-to-memory copy.
+    pub memcpy_setup_us: f64,
+    /// Per-byte cost of a memory-to-memory copy (≈230 MiB/s on the paper's
+    /// Pentium II 450 nodes).
+    pub memcpy_per_byte_us: f64,
+    /// Software cost of one `pack`/`unpack` call (switch step).
+    pub pack_op_us: f64,
+    /// Software cost of `begin_packing`/`begin_unpacking`.
+    pub begin_op_us: f64,
+    /// Software cost of `end_packing`/`end_unpacking` (final commit).
+    pub end_op_us: f64,
+}
+
+impl Default for HostModel {
+    fn default() -> Self {
+        HostModel {
+            memcpy_setup_us: 0.2,
+            memcpy_per_byte_us: 0.0042,
+            pack_op_us: 0.15,
+            begin_op_us: 0.3,
+            end_op_us: 0.3,
+        }
+    }
+}
+
+impl HostModel {
+    /// Virtual cost of copying `len` bytes in host memory.
+    pub fn memcpy(&self, len: usize) -> VDuration {
+        VDuration::from_micros_f64(self.memcpy_setup_us + len as f64 * self.memcpy_per_byte_us)
+    }
+}
+
+/// Full session configuration.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    pub channels: Vec<ChannelSpec>,
+    /// Enable the SISCI DMA transmission module. The paper ships it
+    /// disabled: D310 DMA measured at ≤35 MB/s versus 82 MB/s for PIO
+    /// (§5.2.1). Kept as a switch for the ablation benchmark.
+    pub enable_sci_dma: bool,
+    pub host: HostModelOpt,
+    /// How receivers wait for incoming traffic (see
+    /// [`crate::polling`]). Default: pure polling, the paper-era
+    /// behaviour.
+    pub poll: PollPolicyOpt,
+    /// Per-stack timing overrides (`None` = the paper-calibrated
+    /// defaults). Lets experiments retime the fabric — e.g. a
+    /// modern-interconnect what-if — without touching the drivers.
+    pub timings: StackTimings,
+}
+
+/// Optional overrides of the simulated stacks' calibrated constants.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StackTimings {
+    pub bip: Option<BipTiming>,
+    pub sisci: Option<SisciTiming>,
+    pub tcp: Option<TcpTiming>,
+    pub via: Option<ViaTiming>,
+    pub sbp: Option<SbpTiming>,
+}
+
+/// Wrapper so `Config::default()` works without spelling out the model.
+#[derive(Clone, Copy, Debug)]
+#[derive(Default)]
+pub struct HostModelOpt(pub HostModel);
+
+
+/// Wrapper so `Config::default()` works without spelling out the policy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PollPolicyOpt(pub PollPolicy);
+
+impl Config {
+    /// Convenience: a single-channel configuration.
+    pub fn one(name: &str, network: &str, protocol: Protocol) -> Self {
+        Config {
+            channels: vec![ChannelSpec::new(name, network, protocol)],
+            ..Config::default()
+        }
+    }
+
+    pub fn with_channel(mut self, name: &str, network: &str, protocol: Protocol) -> Self {
+        self.channels.push(ChannelSpec::new(name, network, protocol));
+        self
+    }
+
+    pub fn with_sci_dma(mut self, on: bool) -> Self {
+        self.enable_sci_dma = on;
+        self
+    }
+
+    pub fn with_poll_policy(mut self, policy: PollPolicy) -> Self {
+        self.poll = PollPolicyOpt(policy);
+        self
+    }
+
+    pub fn with_bip_timing(mut self, t: BipTiming) -> Self {
+        self.timings.bip = Some(t);
+        self
+    }
+
+    pub fn with_sisci_timing(mut self, t: SisciTiming) -> Self {
+        self.timings.sisci = Some(t);
+        self
+    }
+
+    pub fn with_tcp_timing(mut self, t: TcpTiming) -> Self {
+        self.timings.tcp = Some(t);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_channels() {
+        let c = Config::one("sci", "sci0", Protocol::Sisci).with_channel(
+            "myr",
+            "myr0",
+            Protocol::Bip,
+        );
+        assert_eq!(c.channels.len(), 2);
+        assert_eq!(c.channels[0].protocol, Protocol::Sisci);
+        assert_eq!(c.channels[1].network, "myr0");
+        assert!(!c.enable_sci_dma);
+    }
+
+    #[test]
+    fn memcpy_model_scales() {
+        let h = HostModel::default();
+        let small = h.memcpy(0).as_micros_f64();
+        let big = h.memcpy(1000).as_micros_f64();
+        assert!((small - 0.2).abs() < 1e-9);
+        assert!((big - 4.4).abs() < 1e-9);
+    }
+}

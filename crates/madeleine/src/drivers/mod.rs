@@ -1,0 +1,51 @@
+//! Protocol drivers: one [`crate::pmm::Pmm`] implementation per
+//! supported network interface (paper §5: BIP, SISCI, TCP, VIA — plus SBP
+//! for the §6 static-buffer analysis).
+
+pub mod bip;
+pub mod sbp;
+pub mod sisci;
+pub mod tcp;
+pub mod via;
+
+use crate::config::{Config, HostModel, Protocol};
+use crate::pmm::Pmm;
+use crate::stats::Stats;
+use madsim_net::world::{Adapter, NetKind};
+use std::sync::Arc;
+
+/// Instantiate the PMM for one channel. Collective: every member of the
+/// channel's network must call this concurrently (drivers exchange
+/// segments / connections / preposted descriptors during construction).
+pub fn build_pmm(
+    protocol: Protocol,
+    adapter: &Adapter,
+    channel_id: u32,
+    cfg: &Config,
+    host: HostModel,
+    stats: Arc<Stats>,
+) -> Arc<dyn Pmm> {
+    let poll = cfg.poll.0;
+    match protocol {
+        Protocol::Tcp => {
+            assert_eq!(adapter.kind(), NetKind::Ethernet, "TCP needs Ethernet");
+            tcp::build(adapter, channel_id, host, stats, poll, cfg.timings.tcp)
+        }
+        Protocol::Bip => {
+            assert_eq!(adapter.kind(), NetKind::Myrinet, "BIP needs Myrinet");
+            bip::build(adapter, channel_id, host, stats, poll, cfg.timings.bip)
+        }
+        Protocol::Sisci => {
+            assert_eq!(adapter.kind(), NetKind::Sci, "SISCI needs SCI");
+            sisci::build(adapter, channel_id, cfg.enable_sci_dma, poll, cfg.timings.sisci)
+        }
+        Protocol::Via => {
+            assert_eq!(adapter.kind(), NetKind::ViaSan, "VIA needs a SAN");
+            via::build(adapter, channel_id, poll, cfg.timings.via)
+        }
+        Protocol::Sbp => {
+            assert_eq!(adapter.kind(), NetKind::Ethernet, "SBP needs Ethernet");
+            sbp::build(adapter, channel_id, poll, cfg.timings.sbp)
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The SBP protocol module.
+//!
+//! SBP requires every transmitted byte to pass through kernel-provided
+//! static buffers on **both** sides (paper §6, citing Russell & Hatcher).
+//! A single StaticCopy TM over the stack's bounded buffer pools: `obtain`
+//! blocks when the pool is exhausted, which is the natural flow control.
+//! This is the protocol that makes the gateway's static/static worst case
+//! reachable in tests.
+
+use crate::bmm::SendPolicy;
+use crate::flags::{RecvMode, SendMode};
+use crate::pmm::Pmm;
+use crate::polling::PollPolicy;
+use crate::tm::{StaticBuf, TmCaps, TmId, TransmissionModule};
+use madsim_net::stacks::sbp::{Sbp, SBP_BUFFER_SIZE};
+use madsim_net::world::Adapter;
+use madsim_net::NodeId;
+use std::sync::Arc;
+
+fn tag(channel_id: u32) -> u64 {
+    ((channel_id as u64) << 8) | 0x53 // 'S'
+}
+
+/// Build the SBP PMM for one channel.
+pub fn build(
+    adapter: &Adapter,
+    channel_id: u32,
+    poll: PollPolicy,
+    timing: Option<madsim_net::stacks::sbp::SbpTiming>,
+) -> Arc<dyn Pmm> {
+    let sbp = match timing {
+        Some(t) => Sbp::with_timing(adapter, t),
+        None => Sbp::new(adapter),
+    };
+    let tm: Arc<dyn TransmissionModule> = Arc::new(SbpTm {
+        sbp: sbp.clone(),
+        tag: tag(channel_id),
+    });
+    Arc::new(SbpPmm {
+        sbp,
+        tag: tag(channel_id),
+        tms: [tm],
+        poll,
+    })
+}
+
+struct SbpPmm {
+    sbp: Sbp,
+    tag: u64,
+    tms: [Arc<dyn TransmissionModule>; 1],
+    poll: PollPolicy,
+}
+
+impl Pmm for SbpPmm {
+    fn name(&self) -> &'static str {
+        "sbp"
+    }
+
+    fn tms(&self) -> &[Arc<dyn TransmissionModule>] {
+        &self.tms
+    }
+
+    fn select(&self, _len: usize, _s: SendMode, _r: RecvMode) -> TmId {
+        0
+    }
+
+    fn policy(&self, _id: TmId) -> SendPolicy {
+        SendPolicy::StaticCopy
+    }
+
+    fn wait_incoming(&self) -> NodeId {
+        self.poll.wait(|| self.poll_incoming())
+    }
+
+    fn poll_incoming(&self) -> Option<NodeId> {
+        self.sbp.peek_pending_src(self.tag)
+    }
+}
+
+struct SbpTm {
+    sbp: Sbp,
+    tag: u64,
+}
+
+impl TransmissionModule for SbpTm {
+    fn name(&self) -> &'static str {
+        "sbp/static"
+    }
+
+    fn caps(&self) -> TmCaps {
+        TmCaps {
+            static_buffers: true,
+            buffer_cap: SBP_BUFFER_SIZE,
+            gather: false,
+        }
+    }
+
+    fn send_buffer(&self, dst: NodeId, data: &[u8]) {
+        assert!(data.len() <= SBP_BUFFER_SIZE, "SBP dynamic send too large");
+        let mut buf = self.obtain_static_buffer();
+        buf.spare_mut()[..data.len()].copy_from_slice(data);
+        buf.advance(data.len());
+        self.send_static_buffer(dst, buf);
+    }
+
+    fn send_static_buffer(&self, dst: NodeId, buf: StaticBuf) {
+        // The StaticBuf *is* the kernel buffer: obtain_static_buffer below
+        // reserved the pool slot, so the hand-off here is free.
+        let mut tx = self.sbp.obtain_tx_reserved();
+        tx.fill(buf.filled());
+        self.sbp.send(dst, self.tag, tx);
+    }
+
+    fn receive_buffer(&self, src: NodeId, dst: &mut [u8]) {
+        let buf = self.receive_static_buffer(src);
+        assert_eq!(buf.len(), dst.len(), "SBP dynamic receive length mismatch");
+        dst.copy_from_slice(buf.filled());
+    }
+
+    fn receive_static_buffer(&self, src: NodeId) -> StaticBuf {
+        let rx = self.sbp.recv_from(src, self.tag);
+        StaticBuf::shared(rx, 0)
+    }
+
+    fn obtain_static_buffer(&self) -> StaticBuf {
+        // Reserve a kernel pool slot now (may block on exhaustion); the
+        // boxed memory stands in for the kernel buffer itself.
+        self.sbp.reserve_tx_slot();
+        StaticBuf::owned(SBP_BUFFER_SIZE, 0)
+    }
+
+    fn release_static_buffer(&self, buf: StaticBuf) {
+        // Only send-side (owned) buffers hold a pool slot; received buffers
+        // wrap the arrival bytes and freed their slot inside the stack.
+        if buf.is_owned() {
+            self.sbp.unreserve_tx_slot();
+        }
+    }
+}

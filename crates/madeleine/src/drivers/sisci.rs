@@ -1,0 +1,451 @@
+//! The SISCI protocol module (paper §5.2.1).
+//!
+//! Three transmission modules over Dolphin SCI's remote-mapped segments:
+//!
+//! * **short TM** (blocks ≤ 512 B) — a small low-latency PIO ring; this is
+//!   where the paper's 3.9 µs minimal latency comes from;
+//! * **regular PIO TM** — bulk PIO writes with the **adaptive
+//!   dual-buffering** algorithm: transfers up to 8 kB go out in a single
+//!   shot, larger ones are pipelined in 8 kB chunks through a two-chunk
+//!   ring so the sender's PIO overlaps the receiver's copy-out (the
+//!   visible kink of Fig. 4);
+//! * **DMA TM** — implemented but **disabled by default**, exactly as in
+//!   the paper ("we have not been able to get more than 35 MB/s with
+//!   Dolphin SCI D310 NICs"); enable it with `Config::with_sci_dma` for
+//!   the ablation benchmark.
+//!
+//! ### Wire discipline
+//!
+//! Each TM drives a **byte-stream ring** per direction: the sender PIOs
+//! chunks into ring positions `stream_pos % ring` and publishes a flag
+//! carrying the total bytes written; the receiver copies out at its own
+//! position and publishes consumed-byte acks. Framing is entirely
+//! positional — Madeleine messages are not self-described, and the stream
+//! never needs padding or alignment between commits, so small blocks from
+//! consecutive packs (including the internal message header) coalesce into
+//! a single PIO write.
+//!
+//! For each ordered pair X→Y there is one segment owned (and polled) by Y
+//! and mapped (and written) by X. It carries X's rings for X→Y *plus* X's
+//! ack flags for the reverse direction Y→X (acks must live in a segment
+//! their reader polls locally — remote SCI reads are prohibitively slow).
+
+use crate::bmm::SendPolicy;
+use crate::flags::{RecvMode, SendMode};
+use crate::pmm::Pmm;
+use crate::polling::PollPolicy;
+use crate::tm::{TmCaps, TmId, TransmissionModule};
+use madsim_net::stacks::sisci::{LocalSegment, RemoteSegment, Sisci};
+use madsim_net::time::{self, VDuration, VTime};
+use madsim_net::world::Adapter;
+use madsim_net::NodeId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Largest block carried by the short TM.
+pub const SHORT_LIMIT: usize = 512;
+/// Short ring: 8 × 512 B.
+const SHORT_RING: usize = 4096;
+const SHORT_CHUNK: usize = 512;
+/// Bulk ring: 4 × 8 kB (two dual-buffer pairs: one being written, one
+/// being drained, with slack so ring acks do not resonate with consumers
+/// that batch reads, e.g. a forwarding gateway).
+pub const CHUNK_SIZE: usize = 8192;
+const DATA_RING: usize = 4 * CHUNK_SIZE;
+/// DMA ring: one 16 kB chunk, stop-and-wait (the engine is slow anyway).
+const DMA_CHUNK: usize = 16384;
+const DMA_RING: usize = DMA_CHUNK;
+
+/// Fixed cost of arming the dual-buffering pipeline for a bulk transfer.
+const DUALBUF_SETUP_US: f64 = 20.0;
+
+// Segment layout offsets.
+const OFF_SHORT: usize = 0;
+const OFF_SHORT_FLAG: usize = OFF_SHORT + SHORT_RING; // 4096
+const OFF_SHORT_ACK: usize = OFF_SHORT_FLAG + 4;
+const OFF_DATA_FLAG: usize = OFF_SHORT_ACK + 4;
+const OFF_DATA_ACK: usize = OFF_DATA_FLAG + 4;
+const OFF_DMA_FLAG: usize = OFF_DATA_ACK + 4;
+const OFF_DMA_ACK: usize = OFF_DMA_FLAG + 4;
+const OFF_DATA: usize = 4128;
+const OFF_DMA: usize = OFF_DATA + DATA_RING;
+const SEG_SIZE: usize = OFF_DMA + DMA_RING;
+
+fn seg_id(channel_id: u32, from: NodeId) -> u32 {
+    assert!(from < 256, "SISCI driver assumes node ids < 256");
+    (channel_id << 8) | from as u32
+}
+
+/// Sender-side position of one stream.
+struct SendStream {
+    /// Total bytes written to the stream since session start.
+    pos: u32,
+    /// Highest consumed-bytes ack observed.
+    acked: u32,
+}
+
+/// Receiver-side position of one stream.
+struct RecvStream {
+    /// Total bytes consumed.
+    pos: u32,
+    /// Highest written-bytes flag observed.
+    known: u32,
+    /// Last consumed position acknowledged to the sender.
+    acked: u32,
+}
+
+/// Everything one node holds about one peer on one SISCI channel.
+struct PeerLink {
+    /// Owned by us; the peer writes its data (peer→me) and its acks here.
+    local: LocalSegment,
+    /// Owned by the peer; we write our data (me→peer) and our acks here.
+    remote: RemoteSegment,
+    streams: [StreamPair; 3],
+}
+
+struct StreamPair {
+    send: Mutex<SendStream>,
+    recv: Mutex<RecvStream>,
+}
+
+impl StreamPair {
+    fn new() -> Self {
+        StreamPair {
+            send: Mutex::new(SendStream { pos: 0, acked: 0 }),
+            recv: Mutex::new(RecvStream {
+                pos: 0,
+                known: 0,
+                acked: 0,
+            }),
+        }
+    }
+}
+
+/// Geometry of one stream within the segment.
+#[derive(Clone, Copy)]
+struct StreamGeom {
+    index: usize,
+    data_off: usize,
+    ring: usize,
+    /// Largest single PIO/DMA write; bounds the pipelining granularity.
+    chunk: usize,
+    flag_off: usize,
+    ack_off: usize,
+    /// True for the DMA engine, false for PIO.
+    dma: bool,
+}
+
+const SHORT_GEOM: StreamGeom = StreamGeom {
+    index: 0,
+    data_off: OFF_SHORT,
+    ring: SHORT_RING,
+    chunk: SHORT_CHUNK,
+    flag_off: OFF_SHORT_FLAG,
+    ack_off: OFF_SHORT_ACK,
+    dma: false,
+};
+
+const DATA_GEOM: StreamGeom = StreamGeom {
+    index: 1,
+    data_off: OFF_DATA,
+    ring: DATA_RING,
+    chunk: CHUNK_SIZE,
+    flag_off: OFF_DATA_FLAG,
+    ack_off: OFF_DATA_ACK,
+    dma: false,
+};
+
+const DMA_GEOM: StreamGeom = StreamGeom {
+    index: 2,
+    data_off: OFF_DMA,
+    ring: DMA_RING,
+    chunk: DMA_CHUNK,
+    flag_off: OFF_DMA_FLAG,
+    ack_off: OFF_DMA_ACK,
+    dma: true,
+};
+
+/// Largest ack the receiver may withhold without ever starving a sender
+/// that needs room for one full chunk: `batch <= ring - chunk + 1`.
+fn ack_batch(geom: StreamGeom) -> u32 {
+    ((geom.ring - geom.chunk + 1).min(geom.ring / 4).max(1)) as u32
+}
+
+fn checked_add(pos: u32, n: usize, what: &str) -> u32 {
+    pos.checked_add(n as u32)
+        .unwrap_or_else(|| panic!("SISCI {what} stream exceeded 4 GiB (u32 flag wrap)"))
+}
+
+impl PeerLink {
+    /// Stream a commit-group of blocks to the peer through `geom`.
+    fn send_group(&self, geom: StreamGeom, bufs: &[&[u8]]) {
+        let total: usize = bufs.iter().map(|b| b.len()).sum();
+        if total == 0 {
+            return;
+        }
+        let mut st = self.streams[geom.index].send.lock();
+        // Gather into chunk-sized PIO/DMA writes; the staging buffer models
+        // the CPU's write-combining gather, not a user-visible copy.
+        let mut stage = vec![0u8; geom.chunk];
+        let mut stage_fill = 0usize;
+        let flush_chunk = |st: &mut SendStream, stage: &[u8]| {
+            let end = checked_add(st.pos, stage.len(), "send");
+            // Flow control: the chunk's last byte must fit in the ring
+            // window beyond the receiver's consumed position.
+            if end > st.acked.saturating_add(geom.ring as u32) {
+                let need = end - geom.ring as u32;
+                let (v, _) = self.local.wait_flag_ge_val(geom.ack_off, need);
+                st.acked = v;
+            }
+            // Streams are byte-granular, so a chunk may straddle the ring
+            // wrap: split it into at most two writes.
+            let mut written = 0usize;
+            let mut vis = VTime::ZERO;
+            while written < stage.len() {
+                let ring_off = (st.pos as usize + written) % geom.ring;
+                let span = (geom.ring - ring_off).min(stage.len() - written);
+                let off = geom.data_off + ring_off;
+                let part = &stage[written..written + span];
+                let w = if geom.dma {
+                    let done = self.remote.dma_write(off, part);
+                    time::advance_to(done);
+                    done
+                } else {
+                    self.remote.write(off, part)
+                };
+                vis = vis.max(w);
+                written += span;
+            }
+            st.pos = end;
+            self.remote.write_flag(geom.flag_off, st.pos, vis);
+        };
+        for b in bufs {
+            let mut rest: &[u8] = b;
+            while !rest.is_empty() {
+                let take = rest.len().min(geom.chunk - stage_fill);
+                stage[stage_fill..stage_fill + take].copy_from_slice(&rest[..take]);
+                stage_fill += take;
+                rest = &rest[take..];
+                if stage_fill == geom.chunk {
+                    flush_chunk(&mut st, &stage);
+                    stage_fill = 0;
+                }
+            }
+        }
+        if stage_fill > 0 {
+            flush_chunk(&mut st, &stage[..stage_fill]);
+        }
+    }
+
+    /// Read `dst.len()` bytes of the peer's stream through `geom`.
+    fn read_stream(&self, geom: StreamGeom, dst: &mut [u8]) {
+        if dst.is_empty() {
+            return;
+        }
+        let mut st = self.streams[geom.index].recv.lock();
+        let mut filled = 0usize;
+        while filled < dst.len() {
+            if st.known == st.pos {
+                let (v, _) = self.local.wait_flag_ge_val(geom.flag_off, st.pos + 1);
+                st.known = v;
+            }
+            let avail = (st.known - st.pos) as usize;
+            let ring_left = geom.ring - (st.pos as usize % geom.ring);
+            let take = avail.min(ring_left).min(dst.len() - filled);
+            let off = geom.data_off + (st.pos as usize % geom.ring);
+            self.local.read(off, &mut dst[filled..filled + take]);
+            st.pos = checked_add(st.pos, take, "recv");
+            filled += take;
+            // Acknowledge consumption so the sender's ring frees up.
+            // Acks are batched (each is a remote PIO write): the batch is
+            // sized so a sender needing `chunk` bytes of ring space can
+            // never be starved by a withheld ack.
+            let batch = ack_batch(geom);
+            if st.pos - st.acked >= batch {
+                st.acked = st.pos;
+                self.remote.write_flag(geom.ack_off, st.pos, VTime::ZERO);
+            }
+        }
+    }
+
+    /// Is unconsumed data pending on this stream? (No clock effects.)
+    fn probe(&self, geom: StreamGeom) -> bool {
+        let st = self.streams[geom.index].recv.lock();
+        self.local.probe_flag_ge(geom.flag_off, st.pos + 1)
+    }
+}
+
+/// Build the SISCI PMM for one channel. Collective across the channel's
+/// members: creates all local segments, then connects to every peer's.
+pub fn build(
+    adapter: &Adapter,
+    channel_id: u32,
+    enable_dma: bool,
+    poll: PollPolicy,
+    timing: Option<madsim_net::stacks::sisci::SisciTiming>,
+) -> Arc<dyn Pmm> {
+    let sisci = match timing {
+        Some(t) => Sisci::with_timing(adapter, t),
+        None => Sisci::new(adapter),
+    };
+    let me = sisci.node();
+    let peers: Vec<NodeId> = adapter
+        .peers()
+        .iter()
+        .copied()
+        .filter(|&p| p != me)
+        .collect();
+    // Create every local segment before connecting anywhere, so concurrent
+    // initialization across nodes cannot deadlock.
+    let mut locals: HashMap<NodeId, LocalSegment> = peers
+        .iter()
+        .map(|&p| (p, sisci.create_segment(seg_id(channel_id, p), SEG_SIZE)))
+        .collect();
+    let links: HashMap<NodeId, Arc<PeerLink>> = peers
+        .iter()
+        .map(|&p| {
+            let remote = sisci.connect(p, seg_id(channel_id, me));
+            let local = locals.remove(&p).expect("created above");
+            (
+                p,
+                Arc::new(PeerLink {
+                    local,
+                    remote,
+                    streams: [StreamPair::new(), StreamPair::new(), StreamPair::new()],
+                }),
+            )
+        })
+        .collect();
+    let links = Arc::new(links);
+
+    let short: Arc<dyn TransmissionModule> = Arc::new(SisciStreamTm {
+        name: "sisci/short-pio",
+        geom: SHORT_GEOM,
+        links: Arc::clone(&links),
+        setup_above: None,
+    });
+    let regular: Arc<dyn TransmissionModule> = Arc::new(SisciStreamTm {
+        name: "sisci/regular-pio",
+        geom: DATA_GEOM,
+        links: Arc::clone(&links),
+        setup_above: Some((CHUNK_SIZE, VDuration::from_micros_f64(DUALBUF_SETUP_US))),
+    });
+    let dma: Arc<dyn TransmissionModule> = Arc::new(SisciStreamTm {
+        name: "sisci/dma",
+        geom: DMA_GEOM,
+        links: Arc::clone(&links),
+        setup_above: None,
+    });
+    Arc::new(SisciPmm {
+        links,
+        tms: [short, regular, dma],
+        enable_dma,
+        poll,
+    })
+}
+
+struct SisciPmm {
+    links: Arc<HashMap<NodeId, Arc<PeerLink>>>,
+    tms: [Arc<dyn TransmissionModule>; 3],
+    enable_dma: bool,
+    poll: PollPolicy,
+}
+
+impl Pmm for SisciPmm {
+    fn name(&self) -> &'static str {
+        "sisci"
+    }
+
+    fn tms(&self) -> &[Arc<dyn TransmissionModule>] {
+        &self.tms
+    }
+
+    fn select(&self, len: usize, _s: SendMode, _r: RecvMode) -> TmId {
+        if len <= SHORT_LIMIT {
+            0
+        } else if self.enable_dma && len > CHUNK_SIZE {
+            2
+        } else {
+            1
+        }
+    }
+
+    fn policy(&self, _id: TmId) -> SendPolicy {
+        SendPolicy::Aggregate
+    }
+
+    fn wait_incoming(&self) -> NodeId {
+        // Every message opens with its ≤512 B header, so the short stream
+        // of the sender's link always announces it.
+        self.poll.wait(|| self.poll_incoming())
+    }
+
+    fn poll_incoming(&self) -> Option<NodeId> {
+        self.links
+            .iter()
+            .find(|(_, link)| link.probe(SHORT_GEOM))
+            .map(|(&peer, _)| peer)
+    }
+}
+
+/// One SISCI stream TM (all three transfer methods share the discipline;
+/// geometry and engine differ).
+struct SisciStreamTm {
+    name: &'static str,
+    geom: StreamGeom,
+    links: Arc<HashMap<NodeId, Arc<PeerLink>>>,
+    /// `(threshold, cost)`: charge `cost` when a group exceeds `threshold`
+    /// (the dual-buffering pipeline arm cost of the regular TM).
+    setup_above: Option<(usize, VDuration)>,
+}
+
+impl SisciStreamTm {
+    fn link(&self, peer: NodeId) -> &Arc<PeerLink> {
+        self.links
+            .get(&peer)
+            .unwrap_or_else(|| panic!("no SISCI link to node {peer}"))
+    }
+}
+
+impl TransmissionModule for SisciStreamTm {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn caps(&self) -> TmCaps {
+        TmCaps {
+            static_buffers: false,
+            buffer_cap: usize::MAX,
+            gather: true,
+        }
+    }
+
+    fn send_buffer(&self, dst: NodeId, data: &[u8]) {
+        self.send_buffer_group(dst, &[data]);
+    }
+
+    fn send_buffer_group(&self, dst: NodeId, bufs: &[&[u8]]) {
+        let total: usize = bufs.iter().map(|b| b.len()).sum();
+        if total == 0 {
+            return;
+        }
+        if let Some((threshold, cost)) = self.setup_above {
+            if total > threshold {
+                time::advance(cost);
+            }
+        }
+        self.link(dst).send_group(self.geom, bufs);
+    }
+
+    fn receive_buffer(&self, src: NodeId, dst: &mut [u8]) {
+        self.link(src).read_stream(self.geom, dst);
+    }
+
+    fn receive_sub_buffer_group(&self, src: NodeId, dsts: &mut [&mut [u8]]) {
+        let link = self.link(src);
+        for d in dsts.iter_mut() {
+            link.read_stream(self.geom, d);
+        }
+    }
+}

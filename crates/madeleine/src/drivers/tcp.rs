@@ -1,0 +1,151 @@
+//! The TCP protocol module.
+//!
+//! One transmission module: the kernel byte stream. Dynamic buffers with
+//! aggregation — grouped blocks leave in a single `writev`, so a message of
+//! many small blocks costs one kernel traversal instead of one per block.
+//! Receiving always copies once (socket buffer → user memory), charged as a
+//! host memcpy.
+
+use crate::bmm::SendPolicy;
+use crate::config::HostModel;
+use crate::flags::{RecvMode, SendMode};
+use crate::pmm::Pmm;
+use crate::polling::PollPolicy;
+use crate::stats::Stats;
+use crate::tm::{TmCaps, TmId, TransmissionModule};
+use madsim_net::stacks::tcp::{TcpConn, TcpStack};
+use madsim_net::time;
+use madsim_net::world::Adapter;
+use madsim_net::NodeId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Build the TCP PMM for one channel. Establishes a connection to every
+/// peer eagerly (all session members call this during init).
+pub fn build(
+    adapter: &Adapter,
+    channel_id: u32,
+    host: HostModel,
+    stats: Arc<Stats>,
+    poll: PollPolicy,
+    timing: Option<madsim_net::stacks::tcp::TcpTiming>,
+) -> Arc<dyn Pmm> {
+    let stack = match timing {
+        Some(t) => TcpStack::with_timing(adapter, t),
+        None => TcpStack::new(adapter),
+    };
+    let me = stack.node();
+    let mut conns = HashMap::new();
+    for &peer in adapter.peers() {
+        if peer != me {
+            conns.insert(peer, stack.connect(peer, channel_id));
+        }
+    }
+    let tm: Arc<dyn TransmissionModule> = Arc::new(TcpTm {
+        conns: Mutex::new(conns),
+        host,
+        stats,
+    });
+    Arc::new(TcpPmm {
+        stack,
+        port: channel_id,
+        tms: [tm],
+        poll,
+    })
+}
+
+struct TcpPmm {
+    stack: TcpStack,
+    port: u32,
+    tms: [Arc<dyn TransmissionModule>; 1],
+    poll: PollPolicy,
+}
+
+impl Pmm for TcpPmm {
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn tms(&self) -> &[Arc<dyn TransmissionModule>] {
+        &self.tms
+    }
+
+    fn select(&self, _len: usize, _s: SendMode, _r: RecvMode) -> TmId {
+        0
+    }
+
+    fn policy(&self, _id: TmId) -> SendPolicy {
+        SendPolicy::Aggregate
+    }
+
+    fn wait_incoming(&self) -> NodeId {
+        self.poll.wait(|| self.poll_incoming())
+    }
+
+    fn poll_incoming(&self) -> Option<NodeId> {
+        self.stack.peek_pending_src(self.port)
+    }
+}
+
+struct TcpTm {
+    conns: Mutex<HashMap<NodeId, TcpConn>>,
+    host: HostModel,
+    stats: Arc<Stats>,
+}
+
+impl TcpTm {
+    fn with_conn<T>(&self, peer: NodeId, f: impl FnOnce(&mut TcpConn) -> T) -> T {
+        let mut conns = self.conns.lock();
+        let conn = conns
+            .get_mut(&peer)
+            .unwrap_or_else(|| panic!("no TCP connection to node {peer}"));
+        f(conn)
+    }
+}
+
+impl TransmissionModule for TcpTm {
+    fn name(&self) -> &'static str {
+        "tcp/stream"
+    }
+
+    fn caps(&self) -> TmCaps {
+        TmCaps {
+            static_buffers: false,
+            buffer_cap: usize::MAX,
+            gather: true,
+        }
+    }
+
+    fn send_buffer(&self, dst: NodeId, data: &[u8]) {
+        self.with_conn(dst, |c| c.send(data));
+    }
+
+    fn send_buffer_group(&self, dst: NodeId, bufs: &[&[u8]]) {
+        if bufs.is_empty() {
+            return;
+        }
+        self.with_conn(dst, |c| c.send_vectored(bufs));
+    }
+
+    fn receive_buffer(&self, src: NodeId, dst: &mut [u8]) {
+        self.with_conn(src, |c| c.recv_exact(dst));
+        // Socket buffer → user memory copy.
+        time::advance(self.host.memcpy(dst.len()));
+        self.stats.record_copy(dst.len());
+    }
+
+    fn receive_sub_buffer_group(&self, src: NodeId, dsts: &mut [&mut [u8]]) {
+        let mut total = 0;
+        self.with_conn(src, |c| {
+            for d in dsts.iter_mut() {
+                c.recv_exact(d);
+                total += d.len();
+            }
+        });
+        if total > 0 {
+            time::advance(self.host.memcpy(total));
+            self.stats.record_copy(total);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! The VIA protocol module.
+//!
+//! One transmission module over per-peer Virtual Interfaces. VIA imposes
+//! two disciplines that shape the TM:
+//!
+//! * data travels in **registered buffers**, so the TM runs the StaticCopy
+//!   policy over a pool of descriptor-sized buffers;
+//! * receive descriptors must be **preposted**: each VI keeps a window of
+//!   posted descriptors, reposting as messages are consumed, and senders
+//!   respect the window with batched credit returns on a control VI — a
+//!   late descriptor would mean a dropped packet (the simulated stack
+//!   panics, so getting this wrong is loud).
+
+use crate::bmm::SendPolicy;
+use crate::flags::{RecvMode, SendMode};
+use crate::pmm::Pmm;
+use crate::polling::PollPolicy;
+use crate::tm::{StaticBuf, TmCaps, TmId, TransmissionModule};
+use madsim_net::stacks::via::{Via, Vi};
+use madsim_net::world::Adapter;
+use madsim_net::NodeId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Registered buffer (descriptor) size.
+pub const VIA_BUF: usize = 8192;
+/// Receive descriptors preposted per data VI.
+const WINDOW: usize = 16;
+/// Return credits every this many consumed buffers.
+const CREDIT_BATCH: usize = 8;
+/// Descriptors preposted on the credit VI.
+const CREDIT_WINDOW: usize = 8;
+
+const SUB_DATA: u64 = 0;
+const SUB_CREDIT: u64 = 1;
+
+fn tag(channel_id: u32, sub: u64) -> u64 {
+    ((channel_id as u64) << 8) | sub
+}
+
+struct PeerVis {
+    data: Vi,
+    credit: Vi,
+    /// Sends in flight against the peer's posted window.
+    outstanding: usize,
+    /// Messages consumed since the last credit return.
+    consumed: usize,
+}
+
+/// Build the VIA PMM for one channel (collective: every member preposts).
+pub fn build(
+    adapter: &Adapter,
+    channel_id: u32,
+    poll: PollPolicy,
+    timing: Option<madsim_net::stacks::via::ViaTiming>,
+) -> Arc<dyn Pmm> {
+    let via = match timing {
+        Some(t) => Via::with_timing(adapter, t),
+        None => Via::new(adapter),
+    };
+    let me = via.node();
+    let mut vis = HashMap::new();
+    for &peer in adapter.peers() {
+        if peer == me {
+            continue;
+        }
+        let mut data = via.open_vi(peer, tag(channel_id, SUB_DATA));
+        let mut credit = via.open_vi(peer, tag(channel_id, SUB_CREDIT));
+        for _ in 0..WINDOW {
+            data.post_recv(VIA_BUF);
+        }
+        for _ in 0..CREDIT_WINDOW {
+            credit.post_recv(8);
+        }
+        vis.insert(
+            peer,
+            Mutex::new(PeerVis {
+                data,
+                credit,
+                outstanding: 0,
+                consumed: 0,
+            }),
+        );
+    }
+    let vis = Arc::new(vis);
+    let tm: Arc<dyn TransmissionModule> = Arc::new(ViaTm {
+        vis: Arc::clone(&vis),
+    });
+    Arc::new(ViaPmm {
+        vis,
+        tms: [tm],
+        poll,
+    })
+}
+
+struct ViaPmm {
+    vis: Arc<HashMap<NodeId, Mutex<PeerVis>>>,
+    tms: [Arc<dyn TransmissionModule>; 1],
+    poll: PollPolicy,
+}
+
+impl Pmm for ViaPmm {
+    fn name(&self) -> &'static str {
+        "via"
+    }
+
+    fn tms(&self) -> &[Arc<dyn TransmissionModule>] {
+        &self.tms
+    }
+
+    fn select(&self, _len: usize, _s: SendMode, _r: RecvMode) -> TmId {
+        0
+    }
+
+    fn policy(&self, _id: TmId) -> SendPolicy {
+        SendPolicy::StaticCopy
+    }
+
+    fn wait_incoming(&self) -> NodeId {
+        self.poll.wait(|| self.poll_incoming())
+    }
+
+    fn poll_incoming(&self) -> Option<NodeId> {
+        self.vis
+            .iter()
+            .find(|(_, vi)| vi.lock().data.has_pending())
+            .map(|(&peer, _)| peer)
+    }
+}
+
+struct ViaTm {
+    vis: Arc<HashMap<NodeId, Mutex<PeerVis>>>,
+}
+
+impl ViaTm {
+    fn with_peer<T>(&self, peer: NodeId, f: impl FnOnce(&mut PeerVis) -> T) -> T {
+        let vi = self
+            .vis
+            .get(&peer)
+            .unwrap_or_else(|| panic!("no VIA VI to node {peer}"));
+        f(&mut vi.lock())
+    }
+}
+
+impl TransmissionModule for ViaTm {
+    fn name(&self) -> &'static str {
+        "via/registered"
+    }
+
+    fn caps(&self) -> TmCaps {
+        TmCaps {
+            static_buffers: true,
+            buffer_cap: VIA_BUF,
+            gather: false,
+        }
+    }
+
+    fn send_buffer(&self, dst: NodeId, data: &[u8]) {
+        assert!(data.len() <= VIA_BUF, "VIA dynamic send exceeds buffer");
+        let mut buf = self.obtain_static_buffer();
+        buf.spare_mut()[..data.len()].copy_from_slice(data);
+        buf.advance(data.len());
+        self.send_static_buffer(dst, buf);
+    }
+
+    fn send_static_buffer(&self, dst: NodeId, buf: StaticBuf) {
+        self.with_peer(dst, |p| {
+            // Refresh the window view from any queued credit returns.
+            while let Some(pkt) = p.credit.try_recv() {
+                let n = u64::from_le_bytes(pkt[..8].try_into().expect("8-byte credit")) as usize;
+                p.outstanding = p.outstanding.saturating_sub(n);
+                p.credit.post_recv(8);
+            }
+            while p.outstanding >= WINDOW {
+                let pkt = p.credit.recv();
+                let n = u64::from_le_bytes(pkt[..8].try_into().expect("8-byte credit")) as usize;
+                p.outstanding = p.outstanding.saturating_sub(n);
+                p.credit.post_recv(8);
+            }
+            p.outstanding += 1;
+            p.data.send(buf.filled());
+        });
+    }
+
+    fn receive_buffer(&self, src: NodeId, dst: &mut [u8]) {
+        let buf = self.receive_static_buffer(src);
+        assert_eq!(buf.len(), dst.len(), "VIA dynamic receive length mismatch");
+        dst.copy_from_slice(buf.filled());
+    }
+
+    fn receive_static_buffer(&self, src: NodeId) -> StaticBuf {
+        self.with_peer(src, |p| {
+            let data = p.data.recv();
+            p.data.post_recv(VIA_BUF);
+            p.consumed += 1;
+            if p.consumed >= CREDIT_BATCH {
+                let n = p.consumed as u64;
+                p.consumed = 0;
+                p.credit.send(&n.to_le_bytes());
+            }
+            StaticBuf::shared(data, 0)
+        })
+    }
+
+    fn obtain_static_buffer(&self) -> StaticBuf {
+        StaticBuf::owned(VIA_BUF, 0)
+    }
+}

@@ -1,0 +1,87 @@
+//! Pack/unpack semantics flags (paper §2.2).
+//!
+//! The pair of flags attached to every packed block is *the* original
+//! contribution of the Madeleine interface: the application states the
+//! weakest constraint it needs, and the library picks the cheapest transfer
+//! method satisfying it on the current network.
+
+use std::fmt;
+
+/// Emission flags: how the library may access the packed data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Default)]
+pub enum SendMode {
+    /// `send_SAFER`: the library must capture the data at pack time, so the
+    /// caller may reuse the memory immediately (it is copied).
+    Safer,
+    /// `send_LATER`: the library must NOT read the data until
+    /// `end_packing`; the wire sees the value at flush time.
+    ///
+    /// Note on the Rust port: a packed block is held by shared borrow, so
+    /// the caller cannot mutate it between `pack` and `end_packing` anyway;
+    /// `Later` keeps the *mechanism* (the read is deferred to the final
+    /// commit) which is observable in transfer timing and aggregation.
+    Later,
+    /// `send_CHEAPER` (default): the library does whatever is fastest; the
+    /// data must stay untouched until the send completes.
+    #[default]
+    Cheaper,
+}
+
+
+/// Reception flags: when the unpacked data must be available.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Default)]
+pub enum RecvMode {
+    /// `receive_EXPRESS`: the data is guaranteed available as soon as the
+    /// `unpack` call returns — mandatory when the value steers the
+    /// following unpack calls (e.g. a length header).
+    Express,
+    /// `receive_CHEAPER` (default): extraction may be deferred up to
+    /// `end_unpacking`; combined with `send_CHEAPER` this is the fastest
+    /// path the network offers.
+    #[default]
+    Cheaper,
+}
+
+
+impl fmt::Display for SendMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SendMode::Safer => "send_SAFER",
+            SendMode::Later => "send_LATER",
+            SendMode::Cheaper => "send_CHEAPER",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for RecvMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RecvMode::Express => "receive_EXPRESS",
+            RecvMode::Cheaper => "receive_CHEAPER",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_cheaper() {
+        assert_eq!(SendMode::default(), SendMode::Cheaper);
+        assert_eq!(RecvMode::default(), RecvMode::Cheaper);
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(SendMode::Safer.to_string(), "send_SAFER");
+        assert_eq!(SendMode::Later.to_string(), "send_LATER");
+        assert_eq!(SendMode::Cheaper.to_string(), "send_CHEAPER");
+        assert_eq!(RecvMode::Express.to_string(), "receive_EXPRESS");
+        assert_eq!(RecvMode::Cheaper.to_string(), "receive_CHEAPER");
+    }
+}

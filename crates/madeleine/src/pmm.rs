@@ -1,0 +1,45 @@
+//! Protocol Management Modules (paper §3.3).
+//!
+//! One PMM per supported network interface. A PMM owns the TMs of its
+//! protocol, decides — identically on the sending and the receiving side —
+//! which TM carries a packet of a given length and mode combination (the
+//! paper's "most-efficient transfer-method selection"), names the buffer
+//! policy that feeds each TM, and announces incoming messages.
+
+use crate::bmm::SendPolicy;
+use crate::flags::{RecvMode, SendMode};
+use crate::tm::{TmId, TransmissionModule};
+use madsim_net::NodeId;
+use std::sync::Arc;
+
+/// A protocol driving module. See module docs.
+pub trait Pmm: Send + Sync {
+    /// Protocol name, e.g. `"bip"`.
+    fn name(&self) -> &'static str;
+
+    /// The TMs of this protocol, indexed by [`TmId`].
+    fn tms(&self) -> &[Arc<dyn TransmissionModule>];
+
+    /// The Switch step (paper §4.1): pick the best TM for a packet. Must be
+    /// a pure function of its arguments — both ends evaluate it
+    /// independently and must agree (messages are not self-described).
+    fn select(&self, len: usize, smode: SendMode, rmode: RecvMode) -> TmId;
+
+    /// The buffer policy feeding TM `id`.
+    fn policy(&self, id: TmId) -> SendPolicy;
+
+    /// Block until some node has started sending a message on this channel
+    /// and return its id. Consumes nothing: the message body (starting with
+    /// the internal header) is still fully receivable afterwards.
+    fn wait_incoming(&self) -> NodeId;
+
+    /// Non-blocking variant of [`wait_incoming`](Self::wait_incoming):
+    /// the source of pending traffic, if any, consuming nothing. Lets a
+    /// poller (e.g. a gateway forwarder) remain interruptible.
+    fn poll_incoming(&self) -> Option<NodeId>;
+
+    /// Fetch a TM handle.
+    fn tm(&self, id: TmId) -> Arc<dyn TransmissionModule> {
+        Arc::clone(&self.tms()[id as usize])
+    }
+}

@@ -1,0 +1,101 @@
+//! Session management: `Madeleine::init`.
+
+use crate::channel::Channel;
+use crate::config::Config;
+use crate::drivers;
+use crate::stats::Stats;
+use madsim_net::world::NodeEnv;
+use madsim_net::NodeId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A node's Madeleine II session: the set of configured channels.
+///
+/// Initialization is **collective**: every node of the world calls
+/// [`Madeleine::init`] with the same configuration; channel drivers
+/// exchange their segments/connections/descriptors during construction.
+/// A node that is not a member of a channel's network simply does not get
+/// that channel.
+pub struct Madeleine {
+    me: NodeId,
+    channels: HashMap<String, Arc<Channel>>,
+}
+
+impl Madeleine {
+    /// Bring up the session on this node.
+    ///
+    /// # Panics
+    /// Panics if a channel references an unknown network, duplicates a
+    /// name, or its protocol does not match the network's fabric.
+    pub fn init(env: &NodeEnv, config: &Config) -> Self {
+        let me = env.id();
+        let mut channels = HashMap::new();
+        for (idx, spec) in config.channels.iter().enumerate() {
+            assert!(
+                !channels.contains_key(&spec.name),
+                "duplicate channel name {:?}",
+                spec.name
+            );
+            let Some(adapter) = env.adapter_named(&spec.network) else {
+                // Not a member of this network: skip the channel. (If the
+                // network does not exist anywhere the user gets an empty
+                // session, which the channel() accessor reports clearly.)
+                continue;
+            };
+            let stats = Stats::new();
+            let pmm = drivers::build_pmm(
+                spec.protocol,
+                adapter,
+                idx as u32,
+                config,
+                config.host.0,
+                Arc::clone(&stats),
+            );
+            let channel = Channel::new(
+                spec.name.clone(),
+                pmm,
+                me,
+                adapter.peers().to_vec(),
+                config.host.0,
+                stats,
+            );
+            channels.insert(spec.name.clone(), channel);
+        }
+        // Initialization is collective: nobody may proceed (or tear its
+        // session down) before every node has finished connecting, else a
+        // fast node could unregister its segments/descriptors while a slow
+        // peer is still dialing them.
+        env.barrier();
+        Madeleine { me, channels }
+    }
+
+    /// This node's id.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Look up a channel by name.
+    ///
+    /// # Panics
+    /// Panics with a listing of available channels if absent (typically:
+    /// this node is not on the channel's network).
+    pub fn channel(&self, name: &str) -> &Arc<Channel> {
+        self.channels.get(name).unwrap_or_else(|| {
+            panic!(
+                "no channel {name:?} on node {} (available: {:?})",
+                self.me,
+                self.channels.keys().collect::<Vec<_>>()
+            )
+        })
+    }
+
+    /// Channel lookup that admits absence (for nodes outside the network).
+    pub fn try_channel(&self, name: &str) -> Option<&Arc<Channel>> {
+        self.channels.get(name)
+    }
+
+    /// Names of the channels this node participates in.
+    pub fn channel_names(&self) -> Vec<&str> {
+        self.channels.keys().map(|s| s.as_str()).collect()
+    }
+}

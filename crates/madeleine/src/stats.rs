@@ -1,0 +1,168 @@
+//! Copy and traffic accounting.
+//!
+//! The paper's performance argument is largely about *copies avoided*
+//! (dynamic buffers, zero-copy rendezvous, static-buffer borrowing on
+//! gateways). Every memory-to-memory copy the library performs on behalf of
+//! the user is counted here, so tests can assert the zero-copy claims
+//! exactly rather than inferring them from timing.
+
+use crate::tm::TmId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared counters for one channel (or one gateway pipeline).
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Software copies performed by the generic layer (BMM copies into or
+    /// out of static buffers, kernel-style copies in the TCP TM). Wire
+    /// transfers and NIC DMA are *not* copies.
+    copies: AtomicU64,
+    /// Total bytes moved by those copies.
+    copied_bytes: AtomicU64,
+    /// Buffers handed to transmission modules.
+    buffers_sent: AtomicU64,
+    /// BMM flushes (commit operations).
+    commits: AtomicU64,
+    /// Messages completed (end_packing calls).
+    messages: AtomicU64,
+    /// Per-TM traffic: (buffers, bytes) sent through each transmission
+    /// module — the observable outcome of the Switch's selection.
+    per_tm: Mutex<HashMap<TmId, (u64, u64)>>,
+}
+
+impl Stats {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Stats::default())
+    }
+
+    pub fn record_copy(&self, bytes: usize) {
+        self.copies.fetch_add(1, Ordering::Relaxed);
+        self.copied_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub fn record_buffer_sent(&self) {
+        self.buffers_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Account `bytes` of payload handed to TM `tm`.
+    pub fn record_tm_traffic(&self, tm: TmId, bytes: usize) {
+        let mut m = self.per_tm.lock();
+        let e = m.entry(tm).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += bytes as u64;
+    }
+
+    /// (buffers, bytes) sent through TM `tm` so far.
+    pub fn tm_traffic(&self, tm: TmId) -> (u64, u64) {
+        self.per_tm.lock().get(&tm).copied().unwrap_or((0, 0))
+    }
+
+    /// Every TM with traffic, sorted by id.
+    pub fn tm_breakdown(&self) -> Vec<(TmId, u64, u64)> {
+        let mut v: Vec<(TmId, u64, u64)> = self
+            .per_tm
+            .lock()
+            .iter()
+            .map(|(&tm, &(n, b))| (tm, n, b))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    pub fn record_commit(&self) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_message(&self) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn copies(&self) -> u64 {
+        self.copies.load(Ordering::Relaxed)
+    }
+
+    pub fn copied_bytes(&self) -> u64 {
+        self.copied_bytes.load(Ordering::Relaxed)
+    }
+
+    pub fn buffers_sent(&self) -> u64 {
+        self.buffers_sent.load(Ordering::Relaxed)
+    }
+
+    pub fn commits(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot for before/after deltas in tests.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            copies: self.copies(),
+            copied_bytes: self.copied_bytes(),
+            buffers_sent: self.buffers_sent(),
+            commits: self.commits(),
+            messages: self.messages(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`Stats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub copies: u64,
+    pub copied_bytes: u64,
+    pub buffers_sent: u64,
+    pub commits: u64,
+    pub messages: u64,
+}
+
+impl StatsSnapshot {
+    /// Counter increments since `earlier`.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            copies: self.copies - earlier.copies,
+            copied_bytes: self.copied_bytes - earlier.copied_bytes,
+            buffers_sent: self.buffers_sent - earlier.buffers_sent,
+            commits: self.commits - earlier.commits,
+            messages: self.messages - earlier.messages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = Stats::new();
+        s.record_copy(100);
+        s.record_copy(28);
+        s.record_buffer_sent();
+        s.record_commit();
+        s.record_message();
+        assert_eq!(s.copies(), 2);
+        assert_eq!(s.copied_bytes(), 128);
+        assert_eq!(s.buffers_sent(), 1);
+        assert_eq!(s.commits(), 1);
+        assert_eq!(s.messages(), 1);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let s = Stats::new();
+        s.record_copy(10);
+        let a = s.snapshot();
+        s.record_copy(5);
+        s.record_buffer_sent();
+        let d = s.snapshot().since(&a);
+        assert_eq!(d.copies, 1);
+        assert_eq!(d.copied_bytes, 5);
+        assert_eq!(d.buffers_sent, 1);
+    }
+}

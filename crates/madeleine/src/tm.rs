@@ -1,0 +1,240 @@
+//! Transmission Modules (paper §3.2, Table 2).
+//!
+//! A TM encapsulates **one transfer method of one protocol**: BIP's short
+//! and long paths are two TMs; SISCI's short-PIO, regular-PIO, and DMA modes
+//! are three. The common interface is Table 2 of the paper:
+//!
+//! | paper | here |
+//! |---|---|
+//! | `send_buffer` | [`TransmissionModule::send_buffer`] / [`send_static_buffer`](TransmissionModule::send_static_buffer) |
+//! | `send_buffer_group` | [`TransmissionModule::send_buffer_group`] |
+//! | `receive_buffer` | [`TransmissionModule::receive_buffer`] / [`receive_static_buffer`](TransmissionModule::receive_static_buffer) |
+//! | `receive_sub_buffer_group` | [`TransmissionModule::receive_sub_buffer_group`] |
+//! | `obtain_static_buffer` | [`TransmissionModule::obtain_static_buffer`] |
+//! | `release_static_buffer` | [`TransmissionModule::release_static_buffer`] |
+//!
+//! (The static-buffer send/receive entry points are split from the dynamic
+//! ones because Rust's ownership makes the hand-off explicit; the paper's C
+//! interface passes the same pointer either way.) As the paper notes, "some
+//! functions may not be relevant for a specific TM and will not be
+//! implemented in such case": the defaults here panic with a diagnostic,
+//! and the [`TmCaps`] advertisement tells the generic layer which paths are
+//! usable.
+
+use bytes::Bytes;
+use madsim_net::NodeId;
+
+/// Index of a TM within its protocol module.
+pub type TmId = u8;
+
+/// Capabilities a TM advertises to the buffer-management layer.
+#[derive(Clone, Copy, Debug)]
+pub struct TmCaps {
+    /// Uses protocol-provided static buffers (data must be copied in/out).
+    pub static_buffers: bool,
+    /// Largest single buffer this TM can carry (static buffer capacity, or
+    /// a protocol limit such as BIP's 1 kB short bound).
+    pub buffer_cap: usize,
+    /// Native scatter/gather: a buffer group costs about one transfer.
+    pub gather: bool,
+}
+
+/// A protocol-level buffer (paper: "protocols which provide their own set
+/// of preallocated buffers").
+///
+/// On the send side it is owned writable memory obtained from the TM; on
+/// the receive side it wraps the protocol's arrival buffer zero-copy.
+pub struct StaticBuf {
+    mem: BufMem,
+    len: usize,
+    origin: TmId,
+}
+
+enum BufMem {
+    Owned(Box<[u8]>),
+    Shared(Bytes),
+}
+
+impl StaticBuf {
+    /// A writable send-side buffer of `cap` bytes.
+    pub fn owned(cap: usize, origin: TmId) -> Self {
+        StaticBuf {
+            mem: BufMem::Owned(vec![0u8; cap].into_boxed_slice()),
+            len: 0,
+            origin,
+        }
+    }
+
+    /// Wrap an arrived protocol buffer (receive side), zero-copy.
+    pub fn shared(data: Bytes, origin: TmId) -> Self {
+        StaticBuf {
+            len: data.len(),
+            mem: BufMem::Shared(data),
+            origin,
+        }
+    }
+
+    pub fn origin(&self) -> TmId {
+        self.origin
+    }
+
+    /// True for send-side (writable, pool-backed) buffers, false for
+    /// receive-side wrappers around arrival bytes.
+    pub fn is_owned(&self) -> bool {
+        matches!(self.mem, BufMem::Owned(_))
+    }
+
+    /// Filled length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        match &self.mem {
+            BufMem::Owned(b) => b.len(),
+            BufMem::Shared(b) => b.len(),
+        }
+    }
+
+    /// Filled contents.
+    pub fn filled(&self) -> &[u8] {
+        match &self.mem {
+            BufMem::Owned(b) => &b[..self.len],
+            BufMem::Shared(b) => &b[..self.len],
+        }
+    }
+
+    /// Writable tail (send-side buffers only).
+    ///
+    /// # Panics
+    /// Panics on a receive-side (shared) buffer.
+    pub fn spare_mut(&mut self) -> &mut [u8] {
+        match &mut self.mem {
+            BufMem::Owned(b) => &mut b[self.len..],
+            BufMem::Shared(_) => panic!("cannot write into a received static buffer"),
+        }
+    }
+
+    /// Mark `n` more bytes as filled.
+    pub fn advance(&mut self, n: usize) {
+        assert!(self.len + n <= self.capacity(), "static buffer overflow");
+        self.len += n;
+    }
+
+    /// Remaining writable capacity.
+    pub fn spare(&self) -> usize {
+        self.capacity() - self.len
+    }
+
+    /// Reset to empty for reuse.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+/// One transfer method of one protocol. See module docs.
+pub trait TransmissionModule: Send + Sync {
+    /// Short diagnostic name, e.g. `"bip/short"`.
+    fn name(&self) -> &'static str;
+
+    fn caps(&self) -> TmCaps;
+
+    /// Transmit one dynamic (user-memory) buffer to `dst`.
+    fn send_buffer(&self, dst: NodeId, data: &[u8]);
+
+    /// Transmit a group of dynamic buffers as one logical unit. TMs with
+    /// native gather override this; the default is sequential sends.
+    fn send_buffer_group(&self, dst: NodeId, bufs: &[&[u8]]) {
+        for b in bufs {
+            self.send_buffer(dst, b);
+        }
+    }
+
+    /// Transmit a filled static buffer previously obtained from this TM.
+    /// The buffer returns to the TM's pool.
+    fn send_static_buffer(&self, _dst: NodeId, _buf: StaticBuf) {
+        panic!("{}: static buffers not supported", self.name());
+    }
+
+    /// Receive the next buffer from `src` directly into `dst` (which must
+    /// be exactly the transmitted length — Madeleine messages are not
+    /// self-described).
+    fn receive_buffer(&self, src: NodeId, dst: &mut [u8]);
+
+    /// Receive a group of buffers transmitted by
+    /// [`send_buffer_group`](Self::send_buffer_group), scattered into
+    /// `dsts`. Default: sequential receives.
+    fn receive_sub_buffer_group(&self, src: NodeId, dsts: &mut [&mut [u8]]) {
+        for d in dsts.iter_mut() {
+            self.receive_buffer(src, d);
+        }
+    }
+
+    /// Receive the next static buffer from `src` (static-buffer TMs only).
+    fn receive_static_buffer(&self, _src: NodeId) -> StaticBuf {
+        panic!("{}: static buffers not supported", self.name());
+    }
+
+    /// Obtain an empty protocol buffer (static-buffer TMs only). May block
+    /// until the pool has a free buffer.
+    fn obtain_static_buffer(&self) -> StaticBuf {
+        panic!("{}: static buffers not supported", self.name());
+    }
+
+    /// Return an unused (or fully consumed received) buffer to the pool.
+    fn release_static_buffer(&self, _buf: StaticBuf) {}
+
+    /// Hint that a receive from `src` is imminent: TMs whose protocol has a
+    /// receiver-initiated handshake (BIP's long-message rendezvous) fire it
+    /// now so the transfer overlaps the caller's other work. The matching
+    /// [`receive_buffer`](Self::receive_buffer) must follow eventually.
+    fn prefetch(&self, _src: NodeId) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_buffer_fill_cycle() {
+        let mut b = StaticBuf::owned(16, 2);
+        assert_eq!(b.origin(), 2);
+        assert_eq!(b.capacity(), 16);
+        assert_eq!(b.spare(), 16);
+        b.spare_mut()[..4].copy_from_slice(b"abcd");
+        b.advance(4);
+        assert_eq!(b.filled(), b"abcd");
+        assert_eq!(b.spare(), 12);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.spare(), 16);
+    }
+
+    #[test]
+    fn shared_buffer_wraps_zero_copy() {
+        let data = Bytes::from_static(b"arrived");
+        let b = StaticBuf::shared(data.clone(), 0);
+        assert_eq!(b.filled(), b"arrived");
+        assert_eq!(b.len(), 7);
+        assert_eq!(b.filled().as_ptr(), data.as_ptr());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot write into a received")]
+    fn shared_buffer_rejects_writes() {
+        let mut b = StaticBuf::shared(Bytes::from_static(b"x"), 0);
+        let _ = b.spare_mut();
+    }
+
+    #[test]
+    #[should_panic(expected = "static buffer overflow")]
+    fn advance_past_capacity_panics() {
+        let mut b = StaticBuf::owned(4, 0);
+        b.advance(5);
+    }
+}

@@ -1,0 +1,136 @@
+//! Message-path tracing.
+//!
+//! An optional per-channel event recorder: every Switch decision, commit,
+//! and checkout is logged with its virtual timestamp. This is the
+//! observability a library like Madeleine II needs in the field (which TM
+//! carried my block? when did the commit flush?) and what several tests use
+//! to assert the §4 ordering discipline *directly* instead of inferring it
+//! from bytes.
+//!
+//! Tracing is off by default (zero overhead beyond one atomic load per
+//! operation); enable it per channel with [`crate::channel::Channel::enable_trace`]
+//! (`Channel` re-exports live in [`crate::channel`]).
+
+use crate::flags::{RecvMode, SendMode};
+use crate::tm::TmId;
+use madsim_net::time::{self, VTime};
+use madsim_net::NodeId;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One recorded event on a channel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `begin_packing(dst)`.
+    BeginPacking { dst: NodeId },
+    /// A `pack` routed to a TM by the Switch.
+    Pack {
+        len: usize,
+        smode: SendMode,
+        rmode: RecvMode,
+        tm: TmId,
+    },
+    /// The Switch committed a BMM because the selected TM changed.
+    CommitOnSwitch { from: TmId, to: TmId },
+    /// `end_packing`'s terminal commit.
+    EndPacking,
+    /// `begin_unpacking` resolved an incoming message.
+    BeginUnpacking { src: NodeId },
+    /// An `unpack` routed to a TM.
+    Unpack {
+        len: usize,
+        smode: SendMode,
+        rmode: RecvMode,
+        tm: TmId,
+    },
+    /// The receive-side mirror of `CommitOnSwitch`.
+    CheckoutOnSwitch { from: TmId, to: TmId },
+    /// `end_unpacking`'s terminal checkout.
+    EndUnpacking,
+}
+
+/// A timestamped event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Traced {
+    pub at: VTime,
+    pub event: TraceEvent,
+}
+
+/// Per-channel trace recorder.
+#[derive(Default)]
+pub struct Tracer {
+    enabled: AtomicBool,
+    events: Mutex<Vec<Traced>>,
+}
+
+impl Tracer {
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Record `event` at the current virtual time (no-op when disabled).
+    pub fn record(&self, event: TraceEvent) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.events.lock().push(Traced {
+            at: time::now(),
+            event,
+        });
+    }
+
+    /// Snapshot of all recorded events, in order.
+    pub fn events(&self) -> Vec<Traced> {
+        self.events.lock().clone()
+    }
+
+    /// Drop all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use madsim_net::time::{install_clock, restore_clock, ClockHandle};
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new();
+        let prev = install_clock(ClockHandle::new());
+        t.record(TraceEvent::EndPacking);
+        restore_clock(prev);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_tracer_records_in_order_with_timestamps() {
+        let t = Tracer::new();
+        t.enable();
+        let clock = ClockHandle::new();
+        let prev = install_clock(clock.clone());
+        t.record(TraceEvent::BeginPacking { dst: 3 });
+        clock.advance(madsim_net::time::VDuration::from_micros(5));
+        t.record(TraceEvent::EndPacking);
+        restore_clock(prev);
+        let ev = t.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].event, TraceEvent::BeginPacking { dst: 3 });
+        assert_eq!(ev[1].at.as_nanos(), 5_000);
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+}

@@ -1,0 +1,75 @@
+//! Typed packing helpers.
+//!
+//! The raw interface moves byte slices (as the paper's C interface does);
+//! these extension methods add the little-endian scalar and length-prefixed
+//! conveniences every application ends up writing — including the Fig. 1
+//! pattern (`pack_sized_bytes` / `unpack_sized_bytes`) as a one-liner.
+
+use crate::channel::{IncomingMessage, OutgoingMessage};
+use crate::flags::{RecvMode, SendMode};
+
+impl<'c, 'a> OutgoingMessage<'c, 'a> {
+    /// Pack a `u32` (express by default on the receive side is the
+    /// caller's choice — scalars are usually headers).
+    pub fn pack_u32(&mut self, v: u32, rmode: RecvMode) {
+        self.pack_safer(&v.to_le_bytes(), rmode);
+    }
+
+    /// Pack an `f64`.
+    pub fn pack_f64(&mut self, v: f64, rmode: RecvMode) {
+        self.pack_safer(&v.to_le_bytes(), rmode);
+    }
+
+    /// Pack a length header followed by the bytes — the paper's Fig. 1
+    /// idiom for dynamically-sized data. Both blocks travel EXPRESS so the
+    /// typed receive helpers (which return owned values) can extract them
+    /// immediately; use the raw `pack`/`unpack` pair when CHEAPER deferred
+    /// extraction matters.
+    pub fn pack_sized_bytes(&mut self, data: &'a [u8]) {
+        self.pack_u32(data.len() as u32, RecvMode::Express);
+        if !data.is_empty() {
+            self.pack(data, SendMode::Cheaper, RecvMode::Express);
+        }
+    }
+
+    /// Pack a UTF-8 string with its length header.
+    pub fn pack_str(&mut self, s: &'a str) {
+        self.pack_sized_bytes(s.as_bytes());
+    }
+}
+
+impl IncomingMessage<'_, '_> {
+    /// Unpack a `u32` immediately (EXPRESS semantics regardless of how the
+    /// value will steer later unpacks).
+    pub fn unpack_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.unpack_express(&mut b, SendMode::Safer);
+        u32::from_le_bytes(b)
+    }
+
+    /// Unpack an `f64` immediately.
+    pub fn unpack_f64(&mut self) -> f64 {
+        let mut b = [0u8; 8];
+        self.unpack_express(&mut b, SendMode::Safer);
+        f64::from_le_bytes(b)
+    }
+
+    /// Mirror of [`OutgoingMessage::pack_sized_bytes`]: read the length
+    /// header, allocate, extract.
+    pub fn unpack_sized_bytes(&mut self) -> Vec<u8> {
+        let n = self.unpack_u32() as usize;
+        let mut data = vec![0u8; n];
+        if n > 0 {
+            self.unpack_express(&mut data, SendMode::Cheaper);
+        }
+        data
+    }
+
+    /// Mirror of [`OutgoingMessage::pack_str`].
+    ///
+    /// # Panics
+    /// Panics if the bytes are not valid UTF-8.
+    pub fn unpack_string(&mut self) -> String {
+        String::from_utf8(self.unpack_sized_bytes()).expect("valid UTF-8 string")
+    }
+}

@@ -1,0 +1,70 @@
+//! Raw frames exchanged between adapters.
+
+use crate::time::VTime;
+use bytes::Bytes;
+
+/// Global node identifier within a [`crate::world::World`].
+pub type NodeId = usize;
+
+/// A raw frame on a simulated network.
+///
+/// Frames are the unit the raw adapters move; each protocol stack defines
+/// its own meaning for `kind` and `tag` (BIP uses them for short/long/RTS/
+/// CTS demultiplexing, SISCI for segment notifications, ...). `arrival` is
+/// the virtual time at which the frame becomes visible at the receiver; the
+/// sending stack computes it from its calibrated cost model.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// Sending node.
+    pub src: NodeId,
+    /// Protocol-defined frame kind (e.g. DATA / RTS / CTS / CREDIT).
+    pub kind: u16,
+    /// Protocol-defined demultiplexing tag (e.g. a Madeleine channel id).
+    pub tag: u64,
+    /// Virtual arrival time at the receiver.
+    pub arrival: VTime,
+    /// Payload bytes. Cheaply cloneable; zero-copy slices of user data.
+    pub payload: Bytes,
+}
+
+impl Frame {
+    /// A payload-less control frame.
+    pub fn control(src: NodeId, kind: u16, tag: u64, arrival: VTime) -> Self {
+        Frame {
+            src,
+            kind,
+            tag,
+            arrival,
+            payload: Bytes::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_frame_is_empty() {
+        let f = Frame::control(3, 7, 99, VTime::from_nanos(5));
+        assert_eq!(f.src, 3);
+        assert_eq!(f.kind, 7);
+        assert_eq!(f.tag, 99);
+        assert!(f.payload.is_empty());
+    }
+
+    #[test]
+    fn payload_clone_is_shallow() {
+        let data = Bytes::from(vec![1u8; 1024]);
+        let f = Frame {
+            src: 0,
+            kind: 0,
+            tag: 0,
+            arrival: VTime::ZERO,
+            payload: data.clone(),
+        };
+        let g = f.clone();
+        // Same backing storage: Bytes clones share the allocation.
+        assert_eq!(g.payload.as_ptr(), data.as_ptr());
+    }
+}

@@ -1,0 +1,189 @@
+//! Blocking, selectively-receivable mailboxes.
+//!
+//! A [`Mailbox`] is the real-data transport primitive of the simulated
+//! fabric: senders push items, receivers block until an item matching a
+//! predicate arrives. Unlike a plain channel, `recv_match` lets a protocol
+//! stack wait for a *specific* frame (a CTS from node 3, a credit return on
+//! channel 7) while unrelated frames stay queued — which is exactly how
+//! NIC receive queues are demultiplexed by the real stacks Madeleine drives.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A multi-producer, multi-consumer mailbox with predicate receive.
+pub struct Mailbox<T> {
+    inner: Arc<MailboxInner<T>>,
+}
+
+impl<T> Clone for Mailbox<T> {
+    fn clone(&self) -> Self {
+        Mailbox {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+struct MailboxInner<T> {
+    queue: Mutex<VecDeque<T>>,
+    cond: Condvar,
+}
+
+impl<T> Mailbox<T> {
+    pub fn new() -> Self {
+        Mailbox {
+            inner: Arc::new(MailboxInner {
+                queue: Mutex::new(VecDeque::new()),
+                cond: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Deposit an item and wake all waiting receivers (they re-check their
+    /// predicates; only matching ones consume).
+    pub fn push(&self, item: T) {
+        let mut q = self.inner.queue.lock();
+        q.push_back(item);
+        // notify_all: receivers wait on *different* predicates, so a
+        // notify_one could wake the wrong one and lose the wakeup.
+        self.inner.cond.notify_all();
+    }
+
+    /// Block until an item satisfying `pred` is present; remove and return
+    /// the *oldest* matching item (FIFO among matches).
+    pub fn recv_match(&self, mut pred: impl FnMut(&T) -> bool) -> T {
+        let mut q = self.inner.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(&mut pred) {
+                return q.remove(pos).expect("position just found");
+            }
+            self.inner.cond.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking variant of [`recv_match`](Self::recv_match).
+    pub fn try_recv_match(&self, mut pred: impl FnMut(&T) -> bool) -> Option<T> {
+        let mut q = self.inner.queue.lock();
+        let pos = q.iter().position(&mut pred)?;
+        q.remove(pos)
+    }
+
+    /// Block until any item is present; FIFO.
+    pub fn recv(&self) -> T {
+        self.recv_match(|_| true)
+    }
+
+    /// Block until an item satisfying `pred` is present and return a clone
+    /// of the oldest match **without consuming it** (used by protocol
+    /// stacks to announce incoming traffic before committing to receive).
+    pub fn peek_wait(&self, mut pred: impl FnMut(&T) -> bool) -> T
+    where
+        T: Clone,
+    {
+        let mut q = self.inner.queue.lock();
+        loop {
+            if let Some(item) = q.iter().find(|x| pred(x)) {
+                return item.clone();
+            }
+            self.inner.cond.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking peek: clone of the oldest matching item, if any.
+    pub fn try_peek(&self, mut pred: impl FnMut(&T) -> bool) -> Option<T>
+    where
+        T: Clone,
+    {
+        let q = self.inner.queue.lock();
+        q.iter().find(|x| pred(x)).cloned()
+    }
+
+    /// Number of queued items (racy; for tests and diagnostics).
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Default for Mailbox<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn push_then_recv_fifo() {
+        let m = Mailbox::new();
+        m.push(1);
+        m.push(2);
+        assert_eq!(m.recv(), 1);
+        assert_eq!(m.recv(), 2);
+    }
+
+    #[test]
+    fn recv_match_skips_non_matching() {
+        let m = Mailbox::new();
+        m.push(1);
+        m.push(2);
+        m.push(3);
+        assert_eq!(m.recv_match(|&x| x % 2 == 0), 2);
+        // Non-matching items stayed queued in order.
+        assert_eq!(m.recv(), 1);
+        assert_eq!(m.recv(), 3);
+    }
+
+    #[test]
+    fn try_recv_match_returns_none_when_absent() {
+        let m: Mailbox<i32> = Mailbox::new();
+        assert!(m.try_recv_match(|_| true).is_none());
+        m.push(5);
+        assert_eq!(m.try_recv_match(|&x| x == 9), None);
+        assert_eq!(m.try_recv_match(|&x| x == 5), Some(5));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_push() {
+        let m = Mailbox::new();
+        let m2 = m.clone();
+        let h = thread::spawn(move || m2.recv_match(|&x| x == 42));
+        thread::sleep(Duration::from_millis(20));
+        m.push(7); // wrong item: receiver keeps waiting
+        m.push(42);
+        assert_eq!(h.join().unwrap(), 42);
+        assert_eq!(m.recv(), 7);
+    }
+
+    #[test]
+    fn two_waiters_with_different_predicates() {
+        let m = Mailbox::new();
+        let (ma, mb) = (m.clone(), m.clone());
+        let ha = thread::spawn(move || ma.recv_match(|&x| x == 1));
+        let hb = thread::spawn(move || mb.recv_match(|&x| x == 2));
+        thread::sleep(Duration::from_millis(20));
+        m.push(2);
+        m.push(1);
+        assert_eq!(ha.join().unwrap(), 1);
+        assert_eq!(hb.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn fifo_among_matches() {
+        let m = Mailbox::new();
+        for i in [10, 11, 12, 13] {
+            m.push(i);
+        }
+        assert_eq!(m.recv_match(|&x| x % 2 == 1), 11);
+        assert_eq!(m.recv_match(|&x| x % 2 == 1), 13);
+        assert_eq!(m.len(), 2);
+    }
+}

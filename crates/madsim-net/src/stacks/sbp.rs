@@ -1,0 +1,403 @@
+//! SBP (Static Buffer Protocol, Russell & Hatcher) — simulated.
+//!
+//! SBP is the paper's §6 example of an interface that **requires data to
+//! live in protocol-provided static buffers on both ends**: senders must
+//! first obtain a kernel buffer, fill it, and hand it back to the protocol;
+//! receivers get their data in a kernel buffer they must release. This is
+//! the worst case for the gateway's zero-copy analysis ("one extra copy
+//! cannot be avoided when *both* networks require static buffers") and is
+//! exactly what Madeleine II's `obtain_static_buffer`/`release_static_buffer`
+//! TM interface (Table 2) exists to accommodate.
+
+use crate::frame::{Frame, NodeId};
+use crate::pci::BusKind;
+use crate::stacks::{charge_dest_bus, charge_send_bus};
+use crate::time::{self, VDuration};
+use crate::world::{Adapter, NetKind};
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+const KIND_SBP: u16 = 30;
+
+/// Size of every SBP static buffer.
+pub const SBP_BUFFER_SIZE: usize = 32 * 1024;
+/// Buffers per node-side pool.
+pub const SBP_POOL_SIZE: usize = 16;
+
+/// Calibrated timing constants for the SBP stack.
+#[derive(Clone, Copy, Debug)]
+pub struct SbpTiming {
+    /// One-way latency floor (kernel mediation).
+    pub lat_us: f64,
+    /// Per-byte cost (≈38 MiB/s).
+    pub per_byte_us: f64,
+    /// Cost of obtaining/releasing a kernel buffer.
+    pub pool_op_us: f64,
+    /// Per-byte host-bus occupancy.
+    pub bus_per_byte_us: f64,
+}
+
+impl Default for SbpTiming {
+    fn default() -> Self {
+        SbpTiming {
+            lat_us: 15.0,
+            per_byte_us: 0.025,
+            pool_op_us: 2.0,
+            bus_per_byte_us: 0.0076,
+        }
+    }
+}
+
+struct Pool {
+    available: Mutex<usize>,
+    cond: Condvar,
+}
+
+impl Pool {
+    fn new(n: usize) -> Arc<Self> {
+        Arc::new(Pool {
+            available: Mutex::new(n),
+            cond: Condvar::new(),
+        })
+    }
+
+    fn take(&self) {
+        let mut n = self.available.lock();
+        while *n == 0 {
+            self.cond.wait(&mut n);
+        }
+        *n -= 1;
+    }
+
+    fn put(&self) {
+        let mut n = self.available.lock();
+        *n += 1;
+        self.cond.notify_one();
+    }
+
+    fn available(&self) -> usize {
+        *self.available.lock()
+    }
+}
+
+/// A node's handle on the SBP interface of an Ethernet adapter.
+#[derive(Clone)]
+pub struct Sbp {
+    adapter: Adapter,
+    timing: SbpTiming,
+    tx_pool: Arc<Pool>,
+    rx_pool: Arc<Pool>,
+}
+
+impl Sbp {
+    /// # Panics
+    /// Panics if the adapter is not on an Ethernet fabric (SBP is a kernel
+    /// protocol for commodity NICs).
+    pub fn new(adapter: &Adapter) -> Self {
+        Self::with_timing(adapter, SbpTiming::default())
+    }
+
+    pub fn with_timing(adapter: &Adapter, timing: SbpTiming) -> Self {
+        assert_eq!(
+            adapter.kind(),
+            NetKind::Ethernet,
+            "SBP requires an Ethernet fabric, got {:?}",
+            adapter.kind()
+        );
+        Sbp {
+            adapter: adapter.clone(),
+            timing,
+            tx_pool: Pool::new(SBP_POOL_SIZE),
+            rx_pool: Pool::new(SBP_POOL_SIZE),
+        }
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.adapter.node()
+    }
+
+    /// Transmit buffers currently available (diagnostics / tests).
+    pub fn tx_available(&self) -> usize {
+        self.tx_pool.available()
+    }
+
+    pub fn rx_available(&self) -> usize {
+        self.rx_pool.available()
+    }
+
+    /// Obtain an empty transmit buffer, blocking until one is free.
+    pub fn obtain_tx(&self) -> SbpTxBuffer {
+        self.reserve_tx_slot();
+        self.obtain_tx_reserved()
+    }
+
+    /// Reserve one transmit-pool slot without materializing the buffer
+    /// (the reservation is consumed by [`Self::obtain_tx_reserved`] or returned
+    /// by [`Self::unreserve_tx_slot`]). Lets callers that stage data elsewhere
+    /// still respect the kernel pool bound.
+    pub fn reserve_tx_slot(&self) {
+        self.tx_pool.take();
+        time::advance(VDuration::from_micros_f64(self.timing.pool_op_us));
+    }
+
+    /// Return a reservation taken with [`Self::reserve_tx_slot`].
+    pub fn unreserve_tx_slot(&self) {
+        self.tx_pool.put();
+    }
+
+    /// Materialize the buffer for a slot already reserved with
+    /// [`Self::reserve_tx_slot`].
+    pub fn obtain_tx_reserved(&self) -> SbpTxBuffer {
+        SbpTxBuffer {
+            data: vec![0u8; SBP_BUFFER_SIZE],
+            len: 0,
+            pool: Arc::clone(&self.tx_pool),
+        }
+    }
+
+    /// Send a filled transmit buffer to `dst` under `tag`; the buffer
+    /// returns to the pool once the NIC has drained it.
+    pub fn send(&self, dst: NodeId, tag: u64, buf: SbpTxBuffer) {
+        let t = &self.timing;
+        let len = buf.len;
+        let oneway = VDuration::from_micros_f64(t.lat_us + len as f64 * t.per_byte_us);
+        let bus_occ = VDuration::from_micros_f64(len as f64 * t.bus_per_byte_us);
+        let arrival = charge_send_bus(&self.adapter, BusKind::Dma, oneway, bus_occ);
+        let arrival = charge_dest_bus(&self.adapter, dst, BusKind::Dma, arrival, bus_occ);
+        let payload = Bytes::copy_from_slice(&buf.data[..len]);
+        self.adapter.send_raw(
+            dst,
+            Frame {
+                src: self.node(),
+                kind: KIND_SBP,
+                tag,
+                arrival,
+                payload,
+            },
+        );
+        time::advance(VDuration::from_micros_f64(t.pool_op_us));
+        // `buf` drops here and its pool slot frees.
+    }
+
+    /// Receive the next message under `tag` from `src`, releasing the
+    /// kernel buffer after handing its bytes out (a convenience for callers
+    /// that copy out immediately, as Madeleine's StaticCopy policy does).
+    pub fn recv_from(&self, src: NodeId, tag: u64) -> Bytes {
+        self.rx_pool.take();
+        let f = self
+            .adapter
+            .inbox()
+            .recv_match(|f| f.kind == KIND_SBP && f.tag == tag && f.src == src);
+        let t = &self.timing;
+        time::advance_to(f.arrival);
+        time::advance(VDuration::from_micros_f64(t.pool_op_us));
+        self.rx_pool.put();
+        f.payload
+    }
+
+    /// Block until some node has a pending SBP message under `tag`; return
+    /// its id without consuming anything.
+    pub fn wait_pending_src(&self, tag: u64) -> NodeId {
+        self.adapter
+            .inbox()
+            .peek_wait(|f| f.kind == KIND_SBP && f.tag == tag)
+            .src
+    }
+
+    /// Non-blocking variant of [`wait_pending_src`](Self::wait_pending_src).
+    pub fn peek_pending_src(&self, tag: u64) -> Option<NodeId> {
+        self.adapter
+            .inbox()
+            .try_peek(|f| f.kind == KIND_SBP && f.tag == tag)
+            .map(|f| f.src)
+    }
+
+    /// Receive the next message under `tag` into a kernel receive buffer.
+    /// The caller must copy the data out and drop the buffer to release it.
+    pub fn recv(&self, tag: u64) -> SbpRxBuffer {
+        self.rx_pool.take();
+        let f = self
+            .adapter
+            .inbox()
+            .recv_match(|f| f.kind == KIND_SBP && f.tag == tag);
+        time::advance_to(f.arrival);
+        SbpRxBuffer {
+            src: f.src,
+            data: f.payload,
+            pool: Arc::clone(&self.rx_pool),
+        }
+    }
+}
+
+/// A kernel transmit buffer obtained from the SBP pool.
+pub struct SbpTxBuffer {
+    data: Vec<u8>,
+    len: usize,
+    pool: Arc<Pool>,
+}
+
+impl SbpTxBuffer {
+    pub const CAPACITY: usize = SBP_BUFFER_SIZE;
+
+    /// Fill the buffer from `src` (replaces previous contents).
+    ///
+    /// # Panics
+    /// Panics if `src` exceeds the buffer capacity.
+    pub fn fill(&mut self, src: &[u8]) {
+        assert!(
+            src.len() <= SBP_BUFFER_SIZE,
+            "SBP buffer overflow: {} > {SBP_BUFFER_SIZE}",
+            src.len()
+        );
+        self.data[..src.len()].copy_from_slice(src);
+        self.len = src.len();
+    }
+
+    /// Writable view for in-place fills (zero-copy receive-into-tx-buffer on
+    /// gateways). Call [`set_len`](Self::set_len) after writing.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    pub fn set_len(&mut self, len: usize) {
+        assert!(len <= SBP_BUFFER_SIZE);
+        self.len = len;
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for SbpTxBuffer {
+    fn drop(&mut self) {
+        self.pool.put();
+    }
+}
+
+/// A kernel receive buffer holding an arrived message.
+pub struct SbpRxBuffer {
+    src: NodeId,
+    data: Bytes,
+    pool: Arc<Pool>,
+}
+
+impl SbpRxBuffer {
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Drop for SbpRxBuffer {
+    fn drop(&mut self) {
+        self.pool.put();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldBuilder;
+
+    fn eth_pair() -> (crate::world::World, crate::world::NetworkId) {
+        let mut b = WorldBuilder::new(2);
+        let net = b.network("eth0", NetKind::Ethernet, &[0, 1]);
+        (b.build(), net)
+    }
+
+    #[test]
+    fn static_buffer_roundtrip() {
+        let (w, net) = eth_pair();
+        let out = w.run(|env| {
+            let sbp = Sbp::new(env.adapter_on(net).unwrap());
+            if env.id() == 0 {
+                let mut buf = sbp.obtain_tx();
+                buf.fill(b"static!");
+                sbp.send(1, 1, buf);
+                Vec::new()
+            } else {
+                let rx = sbp.recv(1);
+                assert_eq!(rx.src(), 0);
+                rx.data().to_vec()
+            }
+        });
+        assert_eq!(out[1], b"static!");
+    }
+
+    #[test]
+    fn tx_pool_slot_returns_after_send() {
+        let (w, net) = eth_pair();
+        w.run(|env| {
+            let sbp = Sbp::new(env.adapter_on(net).unwrap());
+            if env.id() == 0 {
+                assert_eq!(sbp.tx_available(), SBP_POOL_SIZE);
+                let buf = sbp.obtain_tx();
+                assert_eq!(sbp.tx_available(), SBP_POOL_SIZE - 1);
+                sbp.send(1, 1, buf);
+                assert_eq!(sbp.tx_available(), SBP_POOL_SIZE);
+            } else {
+                let _ = sbp.recv(1);
+            }
+        });
+    }
+
+    #[test]
+    fn rx_pool_slot_returns_on_drop() {
+        let (w, net) = eth_pair();
+        w.run(|env| {
+            let sbp = Sbp::new(env.adapter_on(net).unwrap());
+            if env.id() == 0 {
+                let mut buf = sbp.obtain_tx();
+                buf.fill(b"x");
+                sbp.send(1, 1, buf);
+            } else {
+                {
+                    let rx = sbp.recv(1);
+                    assert_eq!(sbp.rx_available(), SBP_POOL_SIZE - 1);
+                    drop(rx);
+                }
+                assert_eq!(sbp.rx_available(), SBP_POOL_SIZE);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "SBP buffer overflow")]
+    fn oversized_fill_panics() {
+        let (w, net) = eth_pair();
+        w.run(|env| {
+            if env.id() == 0 {
+                let sbp = Sbp::new(env.adapter_on(net).unwrap());
+                let mut buf = sbp.obtain_tx();
+                buf.fill(&vec![0u8; SBP_BUFFER_SIZE + 1]);
+            }
+        });
+    }
+
+    #[test]
+    fn in_place_fill_via_mut_slice() {
+        let (w, net) = eth_pair();
+        let out = w.run(|env| {
+            let sbp = Sbp::new(env.adapter_on(net).unwrap());
+            if env.id() == 0 {
+                let mut buf = sbp.obtain_tx();
+                buf.as_mut_slice()[..4].copy_from_slice(b"abcd");
+                buf.set_len(4);
+                sbp.send(1, 2, buf);
+                Vec::new()
+            } else {
+                sbp.recv(2).data().to_vec()
+            }
+        });
+        assert_eq!(out[1], b"abcd");
+    }
+}

@@ -1,0 +1,573 @@
+//! SISCI over Dolphin SCI — simulated.
+//!
+//! SISCI's programming model is shared-memory-like, not message-passing
+//! (which is precisely why the first Madeleine's message-oriented internals
+//! fit it poorly, motivating Madeleine II):
+//!
+//! * a node **creates** memory *segments* that remote nodes **connect** to
+//!   and map into their address space;
+//! * a sender moves data with **PIO**: the CPU writes through the mapped
+//!   window, word by word, and the SCI NIC forwards the stream — the
+//!   sending CPU is busy for the whole transfer and the transactions cross
+//!   the sender's PCI bus as *programmed I/O* (this is what loses against
+//!   DMA arbitration in the paper's §6.2.3);
+//! * on the receiving node the incoming stream is written to host memory by
+//!   the SCI NIC as a *bus-master*, i.e. DMA-class PCI transactions;
+//! * synchronization is by writing and polling **flag words** inside the
+//!   segment;
+//! * D310 NICs also have a **DMA engine** — measured by the authors at a
+//!   disappointing ≤35 MB/s, which is why Madeleine II ships the DMA TM
+//!   disabled.
+//!
+//! Segments really exist (a shared byte buffer); flag waits are condvar
+//! waits carrying the virtual arrival time of the write that satisfied them,
+//! so receivers synchronize both real and virtual time without spinning.
+
+use crate::frame::NodeId;
+use crate::pci::{BusDir, BusKind, PciBus};
+use crate::time::{self, VDuration, VTime};
+use crate::world::{Adapter, NetKind};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, OnceLock};
+
+/// Calibrated timing constants for the SISCI stack (µs / µs-per-byte).
+#[derive(Clone, Copy, Debug)]
+pub struct SisciTiming {
+    /// Fixed cost of issuing a PIO write (store buffer flush, window setup).
+    pub pio_setup_us: f64,
+    /// Per-byte cost of streaming PIO writes (~82 MiB/s calibrated).
+    pub pio_per_byte_us: f64,
+    /// Cost of a 4-byte flag write.
+    pub flag_write_us: f64,
+    /// SCI wire + switch latency after the last byte leaves the sender.
+    pub wire_lat_us: f64,
+    /// Fixed cost of a local copy out of a segment.
+    pub copy_setup_us: f64,
+    /// Per-byte cost of copying between a segment and user memory.
+    pub copy_per_byte_us: f64,
+    /// Per-byte sender-bus occupancy of PIO (the CPU drives the bus the
+    /// whole time, so this equals the PIO per-byte cost).
+    pub pio_bus_per_byte_us: f64,
+    /// DMA engine: fixed start cost.
+    pub dma_setup_us: f64,
+    /// DMA engine: per-byte cost (≈35 MB/s on D310 hardware).
+    pub dma_per_byte_us: f64,
+}
+
+impl Default for SisciTiming {
+    fn default() -> Self {
+        SisciTiming {
+            pio_setup_us: 1.0,
+            pio_per_byte_us: 0.0116,
+            flag_write_us: 0.5,
+            wire_lat_us: 0.6,
+            copy_setup_us: 0.1,
+            copy_per_byte_us: 0.0042,
+            pio_bus_per_byte_us: 0.0116,
+            dma_setup_us: 20.0,
+            dma_per_byte_us: 0.026,
+        }
+    }
+}
+
+type SegKey = (u64, NodeId, u32);
+
+struct SegInner {
+    mem: Mutex<Vec<u8>>,
+    /// Flag offset → (value → virtual arrival of the write that set it).
+    flags: Mutex<HashMap<usize, BTreeMap<u32, VTime>>>,
+    cond: Condvar,
+    owner_bus: PciBus,
+    size: usize,
+}
+
+struct Registry {
+    map: Mutex<HashMap<SegKey, Arc<SegInner>>>,
+    cond: Condvar,
+}
+
+fn registry() -> &'static Registry {
+    static REG: OnceLock<Registry> = OnceLock::new();
+    REG.get_or_init(|| Registry {
+        map: Mutex::new(HashMap::new()),
+        cond: Condvar::new(),
+    })
+}
+
+/// A node's handle on the SISCI interface of an SCI adapter.
+#[derive(Clone)]
+pub struct Sisci {
+    adapter: Adapter,
+    timing: SisciTiming,
+}
+
+impl Sisci {
+    /// Open SISCI on an SCI adapter.
+    ///
+    /// # Panics
+    /// Panics if the adapter is not on an SCI fabric.
+    pub fn new(adapter: &Adapter) -> Self {
+        Self::with_timing(adapter, SisciTiming::default())
+    }
+
+    pub fn with_timing(adapter: &Adapter, timing: SisciTiming) -> Self {
+        assert_eq!(
+            adapter.kind(),
+            NetKind::Sci,
+            "SISCI requires an SCI fabric, got {:?}",
+            adapter.kind()
+        );
+        Sisci {
+            adapter: adapter.clone(),
+            timing,
+        }
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.adapter.node()
+    }
+
+    pub fn timing(&self) -> SisciTiming {
+        self.timing
+    }
+
+    /// Create (and export) a local segment of `size` bytes.
+    ///
+    /// # Panics
+    /// Panics if a segment with the same id already exists on this node.
+    pub fn create_segment(&self, seg_id: u32, size: usize) -> LocalSegment {
+        let key: SegKey = (self.adapter.uid(), self.node(), seg_id);
+        let inner = Arc::new(SegInner {
+            mem: Mutex::new(vec![0u8; size]),
+            flags: Mutex::new(HashMap::new()),
+            cond: Condvar::new(),
+            owner_bus: self.adapter.pci().clone(),
+            size,
+        });
+        let reg = registry();
+        let mut map = reg.map.lock();
+        assert!(
+            !map.contains_key(&key),
+            "segment {seg_id} already exists on node {}",
+            self.node()
+        );
+        map.insert(key, Arc::clone(&inner));
+        reg.cond.notify_all();
+        LocalSegment {
+            key,
+            inner,
+            timing: self.timing,
+        }
+    }
+
+    /// Connect to a remote node's exported segment, blocking (in real time)
+    /// until the owner has created it — mirroring SISCI's connect-retry
+    /// loop during session establishment.
+    pub fn connect(&self, owner: NodeId, seg_id: u32) -> RemoteSegment {
+        assert!(
+            self.adapter.peers().contains(&owner),
+            "node {owner} is not on SCI network {:?}",
+            self.adapter.name()
+        );
+        let key: SegKey = (self.adapter.uid(), owner, seg_id);
+        let reg = registry();
+        let mut map = reg.map.lock();
+        let inner = loop {
+            if let Some(inner) = map.get(&key) {
+                break Arc::clone(inner);
+            }
+            reg.cond.wait(&mut map);
+        };
+        RemoteSegment {
+            inner,
+            timing: self.timing,
+            sender_bus: self.adapter.pci().clone(),
+        }
+    }
+}
+
+/// A segment this node exported; remote nodes PIO/DMA into it.
+pub struct LocalSegment {
+    key: SegKey,
+    inner: Arc<SegInner>,
+    timing: SisciTiming,
+}
+
+impl LocalSegment {
+    pub fn size(&self) -> usize {
+        self.inner.size
+    }
+
+    /// Copy `buf.len()` bytes out of the segment into user memory, charging
+    /// the host-memcpy cost.
+    pub fn read(&self, off: usize, buf: &mut [u8]) {
+        let mem = self.inner.mem.lock();
+        buf.copy_from_slice(&mem[off..off + buf.len()]);
+        drop(mem);
+        let t = &self.timing;
+        time::advance(VDuration::from_micros_f64(
+            t.copy_setup_us + buf.len() as f64 * t.copy_per_byte_us,
+        ));
+    }
+
+    /// Read a little-endian u32 (e.g. a length header) without the bulk
+    /// memcpy charge — a single load.
+    pub fn read_u32(&self, off: usize) -> u32 {
+        let mem = self.inner.mem.lock();
+        u32::from_le_bytes(mem[off..off + 4].try_into().expect("4 bytes"))
+    }
+
+    /// Block until the flag word at `off` has been written with a value
+    /// `>= val`; advances the local clock to the write's arrival and returns
+    /// that instant.
+    pub fn wait_flag_ge(&self, off: usize, val: u32) -> VTime {
+        let mut flags = self.inner.flags.lock();
+        loop {
+            if let Some(m) = flags.get_mut(&off) {
+                if let Some((&_v, &arr)) = m.range(val..).next() {
+                    // Prune history below the satisfied value: flags are
+                    // monotone counters in every protocol built on top.
+                    let keep = m.split_off(&val);
+                    *m = keep;
+                    drop(flags);
+                    time::advance_to(arr);
+                    return arr;
+                }
+            }
+            self.inner.cond.wait(&mut flags);
+        }
+    }
+
+    /// Like [`wait_flag_ge`](Self::wait_flag_ge), but also returns the
+    /// value of the satisfying write — the **earliest** write with value
+    /// `>= val`, so the caller never observes data whose publishing write
+    /// it has not paid the arrival time for.
+    pub fn wait_flag_ge_val(&self, off: usize, val: u32) -> (u32, VTime) {
+        let mut flags = self.inner.flags.lock();
+        loop {
+            if let Some(m) = flags.get_mut(&off) {
+                if let Some((&v, &arr)) = m.range(val..).next() {
+                    let keep = m.split_off(&val);
+                    *m = keep;
+                    drop(flags);
+                    time::advance_to(arr);
+                    return (v, arr);
+                }
+            }
+            self.inner.cond.wait(&mut flags);
+        }
+    }
+
+    /// Pure probe: is the flag at `off` already `>= val`? Consumes nothing
+    /// and does not advance the clock (used by incoming-message polling).
+    pub fn probe_flag_ge(&self, off: usize, val: u32) -> bool {
+        let flags = self.inner.flags.lock();
+        flags
+            .get(&off)
+            .is_some_and(|m| m.range(val..).next().is_some())
+    }
+
+    /// Non-blocking flag poll; advances the clock and consumes history on
+    /// success exactly like [`wait_flag_ge`](Self::wait_flag_ge).
+    pub fn try_flag_ge(&self, off: usize, val: u32) -> Option<VTime> {
+        let mut flags = self.inner.flags.lock();
+        let m = flags.get_mut(&off)?;
+        let (&_v, &arr) = m.range(val..).next()?;
+        let keep = m.split_off(&val);
+        *m = keep;
+        drop(flags);
+        time::advance_to(arr);
+        Some(arr)
+    }
+}
+
+impl Drop for LocalSegment {
+    fn drop(&mut self) {
+        registry().map.lock().remove(&self.key);
+    }
+}
+
+/// A mapped window onto a remote node's segment.
+pub struct RemoteSegment {
+    inner: Arc<SegInner>,
+    timing: SisciTiming,
+    sender_bus: PciBus,
+}
+
+impl RemoteSegment {
+    pub fn size(&self) -> usize {
+        self.inner.size
+    }
+
+    /// Stream `data` into the remote segment with PIO. The calling CPU is
+    /// busy for the whole transfer (clock advances to the end of the bus
+    /// crossing). Returns the virtual instant the data is visible in remote
+    /// host memory (including receiver-bus contention).
+    pub fn write(&self, off: usize, data: &[u8]) -> VTime {
+        assert!(
+            off + data.len() <= self.inner.size,
+            "write of {} bytes at {off} overruns segment of {}",
+            data.len(),
+            off,
+        );
+        {
+            let mut mem = self.inner.mem.lock();
+            mem[off..off + data.len()].copy_from_slice(data);
+        }
+        let t = &self.timing;
+        let t0 = time::now();
+        let cpu = VDuration::from_micros_f64(
+            t.pio_setup_us + data.len() as f64 * t.pio_per_byte_us,
+        );
+        let bus_occ =
+            VDuration::from_micros_f64(data.len() as f64 * t.pio_bus_per_byte_us);
+        // Sender bus: PIO outbound; the CPU is stalled for the stretched
+        // duration under contention.
+        let send_end = self
+            .sender_bus
+            .transfer(BusKind::Pio, BusDir::Outbound, t0, bus_occ);
+        let cpu_end = (t0 + cpu).max(send_end);
+        time::advance_to(cpu_end);
+        // Receiver bus: the SCI NIC master-writes into host memory.
+        let nominal_arrival = cpu_end + VDuration::from_micros_f64(t.wire_lat_us);
+        let in_occ = VDuration::from_micros_f64(data.len() as f64 * t.pio_bus_per_byte_us);
+        let busy_start = nominal_arrival.saturating_sub(in_occ);
+        let in_end =
+            self.inner
+                .owner_bus
+                .transfer(BusKind::Dma, BusDir::Inbound, busy_start, in_occ);
+        in_end.max(nominal_arrival)
+    }
+
+    /// Write a 4-byte flag word, visible to the remote no earlier than
+    /// `not_before` (pass the return of the preceding data [`write`] to
+    /// preserve causality). Wakes remote waiters.
+    pub fn write_flag(&self, off: usize, val: u32, not_before: VTime) -> VTime {
+        let t = &self.timing;
+        let cpu_end = time::advance(VDuration::from_micros_f64(t.flag_write_us));
+        let arrival = (cpu_end + VDuration::from_micros_f64(t.wire_lat_us)).max(not_before);
+        {
+            let mut mem = self.inner.mem.lock();
+            if off + 4 <= mem.len() {
+                mem[off..off + 4].copy_from_slice(&val.to_le_bytes());
+            }
+        }
+        let mut flags = self.inner.flags.lock();
+        flags.entry(off).or_default().insert(val, arrival);
+        self.inner.cond.notify_all();
+        arrival
+    }
+
+    /// Transfer `data` with the NIC's DMA engine. The CPU pays only the
+    /// setup cost; the call returns the completion instant (callers model
+    /// SISCI's `SCIWaitForDMAQueue` by `advance_to`-ing it).
+    pub fn dma_write(&self, off: usize, data: &[u8]) -> VTime {
+        assert!(
+            off + data.len() <= self.inner.size,
+            "DMA write of {} bytes at {off} overruns segment",
+            data.len(),
+        );
+        {
+            let mut mem = self.inner.mem.lock();
+            mem[off..off + data.len()].copy_from_slice(data);
+        }
+        let t = &self.timing;
+        let t0 = time::advance(VDuration::from_micros_f64(t.dma_setup_us));
+        let dur = VDuration::from_micros_f64(data.len() as f64 * t.dma_per_byte_us);
+        // The engine's transactions cross the sender bus as DMA.
+        let occ = dur;
+        let send_end = self
+            .sender_bus
+            .transfer(BusKind::Dma, BusDir::Outbound, t0, occ);
+        let nominal_arrival =
+            send_end.max(t0 + dur) + VDuration::from_micros_f64(t.wire_lat_us);
+        let busy_start = nominal_arrival.saturating_sub(occ);
+        let in_end =
+            self.inner
+                .owner_bus
+                .transfer(BusKind::Dma, BusDir::Inbound, busy_start, occ);
+        in_end.max(nominal_arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldBuilder;
+
+    fn sci_pair() -> (crate::world::World, crate::world::NetworkId) {
+        let mut b = WorldBuilder::new(2);
+        let net = b.network("sci0", NetKind::Sci, &[0, 1]);
+        (b.build(), net)
+    }
+
+    #[test]
+    fn pio_write_then_flag_roundtrip() {
+        let (w, net) = sci_pair();
+        let out = w.run(|env| {
+            let sisci = Sisci::new(env.adapter_on(net).unwrap());
+            if env.id() == 1 {
+                let seg = sisci.create_segment(1, 4096);
+                seg.wait_flag_ge(4092, 1);
+                let mut buf = vec![0u8; 5];
+                seg.read(8, &mut buf);
+                buf
+            } else {
+                let seg = sisci.connect(1, 1);
+                let vis = seg.write(8, b"hello");
+                seg.write_flag(4092, 1, vis);
+                Vec::new()
+            }
+        });
+        assert_eq!(out[1], b"hello");
+    }
+
+    #[test]
+    fn receiver_clock_advances_to_write_arrival() {
+        let (w, net) = sci_pair();
+        let times = w.run(|env| {
+            let sisci = Sisci::new(env.adapter_on(net).unwrap());
+            if env.id() == 1 {
+                let seg = sisci.create_segment(1, 4096);
+                let arr = seg.wait_flag_ge(0, 1);
+                assert_eq!(time::now(), arr);
+                arr.as_micros_f64()
+            } else {
+                let seg = sisci.connect(1, 1);
+                let vis = seg.write(64, &[7u8; 1000]);
+                seg.write_flag(0, 1, vis).as_micros_f64()
+            }
+        });
+        // Times must agree on both sides and include PIO + wire costs.
+        assert!((times[0] - times[1]).abs() < 1e-9);
+        // Sequential on the sender CPU: data PIO, then flag write, then the
+        // flag's wire hop (the data's own wire hop overlaps the flag write).
+        let t = SisciTiming::default();
+        let expected =
+            t.pio_setup_us + 1000.0 * t.pio_per_byte_us + t.flag_write_us + t.wire_lat_us;
+        assert!(
+            (times[1] - expected).abs() < 0.01,
+            "got {} expected {}",
+            times[1],
+            expected
+        );
+    }
+
+    #[test]
+    fn flag_history_supports_monotone_counters() {
+        let (w, net) = sci_pair();
+        w.run(|env| {
+            let sisci = Sisci::new(env.adapter_on(net).unwrap());
+            if env.id() == 1 {
+                let seg = sisci.create_segment(9, 64);
+                for i in 1..=5u32 {
+                    seg.wait_flag_ge(0, i);
+                }
+            } else {
+                let seg = sisci.connect(1, 9);
+                for i in 1..=5u32 {
+                    let vis = seg.write(4, &i.to_le_bytes());
+                    seg.write_flag(0, i, vis);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn try_flag_is_nonblocking() {
+        let (w, net) = sci_pair();
+        w.run(|env| {
+            let sisci = Sisci::new(env.adapter_on(net).unwrap());
+            if env.id() == 1 {
+                let seg = sisci.create_segment(2, 64);
+                assert!(seg.try_flag_ge(0, 1).is_none());
+                env.barrier();
+                // After the writer passed the barrier the flag is set
+                // (frame delivery is synchronous in real time).
+                assert!(seg.try_flag_ge(0, 1).is_some());
+            } else {
+                let seg = sisci.connect(1, 2);
+                let vis = seg.write(4, b"data");
+                seg.write_flag(0, 1, vis);
+                env.barrier();
+            }
+        });
+    }
+
+    #[test]
+    fn dma_write_is_slower_than_pio_for_bulk() {
+        let (w, net) = sci_pair();
+        let times = w.run(|env| {
+            let sisci = Sisci::new(env.adapter_on(net).unwrap());
+            if env.id() == 1 {
+                let _seg = sisci.create_segment(3, 1 << 17);
+                env.barrier();
+                env.barrier();
+                (0.0, 0.0)
+            } else {
+                env.barrier();
+                let seg = sisci.connect(1, 3);
+                let data = vec![0u8; 65536];
+                let t0 = time::now();
+                let pio_done = seg.write(0, &data);
+                let pio = pio_done.saturating_since(t0).as_micros_f64();
+                let t1 = time::now();
+                let dma_done = seg.dma_write(0, &data);
+                let dma = dma_done.saturating_since(t1).as_micros_f64();
+                env.barrier();
+                (pio, dma)
+            }
+        });
+        let (pio, dma) = times[0];
+        assert!(
+            dma > pio * 2.0,
+            "D310 DMA should be much slower than PIO for 64 kB: pio={pio} dma={dma}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns segment")]
+    fn write_overrun_panics() {
+        let (w, net) = sci_pair();
+        w.run(|env| {
+            let sisci = Sisci::new(env.adapter_on(net).unwrap());
+            if env.id() == 1 {
+                let _seg = sisci.create_segment(4, 16);
+                env.barrier();
+            } else {
+                let seg = sisci.connect(1, 4);
+                env.barrier();
+                seg.write(8, &[0u8; 16]);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_segment_id_panics() {
+        let (w, net) = sci_pair();
+        w.run(|env| {
+            let sisci = Sisci::new(env.adapter_on(net).unwrap());
+            if env.id() == 0 {
+                let _a = sisci.create_segment(5, 16);
+                let _b = sisci.create_segment(5, 16);
+            }
+        });
+    }
+
+    #[test]
+    fn segment_unregisters_on_drop() {
+        let (w, net) = sci_pair();
+        w.run(|env| {
+            let sisci = Sisci::new(env.adapter_on(net).unwrap());
+            if env.id() == 0 {
+                {
+                    let _a = sisci.create_segment(6, 16);
+                }
+                // Dropped: the id is free again.
+                let _b = sisci.create_segment(6, 16);
+            }
+        });
+    }
+}

@@ -1,0 +1,327 @@
+//! TCP over Fast Ethernet — simulated.
+//!
+//! The commodity fallback network: reliable, ordered byte streams with
+//! 2000-era Fast-Ethernet performance (~60 µs one-way latency through the
+//! kernel stack, ~11 MiB/s). Madeleine II uses it both as a first-class
+//! protocol (the Nexus/Madeleine-TCP configuration of Fig. 7) and as the
+//! control/acknowledgment network of the gateway experiments (§6.2).
+
+use crate::frame::{Frame, NodeId};
+use crate::pci::BusKind;
+use crate::stacks::{charge_dest_bus, charge_send_bus};
+use crate::time::{self, VDuration, VTime};
+use crate::world::{Adapter, NetKind};
+use bytes::Bytes;
+use std::collections::VecDeque;
+
+const KIND_TCP: u16 = 10;
+
+/// Calibrated timing constants for the TCP stack.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpTiming {
+    /// One-way latency floor (kernel traversal, interrupt, Fast Ethernet).
+    pub lat_us: f64,
+    /// Per-byte cost (≈11.2 MiB/s on 100 Mbit/s Ethernet).
+    pub per_byte_us: f64,
+    /// Sender host time per send call (syscall + copy into socket buffer).
+    pub host_send_us: f64,
+    /// Per-byte host-bus occupancy of the NIC's DMA.
+    pub bus_per_byte_us: f64,
+}
+
+impl Default for TcpTiming {
+    fn default() -> Self {
+        TcpTiming {
+            lat_us: 60.0,
+            per_byte_us: 0.0851,
+            host_send_us: 4.0,
+            bus_per_byte_us: 0.0076,
+        }
+    }
+}
+
+/// A node's TCP endpoint on an Ethernet adapter.
+#[derive(Clone)]
+pub struct TcpStack {
+    adapter: Adapter,
+    timing: TcpTiming,
+}
+
+impl TcpStack {
+    /// # Panics
+    /// Panics if the adapter is not on an Ethernet fabric.
+    pub fn new(adapter: &Adapter) -> Self {
+        Self::with_timing(adapter, TcpTiming::default())
+    }
+
+    pub fn with_timing(adapter: &Adapter, timing: TcpTiming) -> Self {
+        assert_eq!(
+            adapter.kind(),
+            NetKind::Ethernet,
+            "TCP stack requires an Ethernet fabric, got {:?}",
+            adapter.kind()
+        );
+        TcpStack {
+            adapter: adapter.clone(),
+            timing,
+        }
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.adapter.node()
+    }
+
+    /// Block until some peer has unconsumed stream data on `port`; return
+    /// the oldest such peer without consuming anything.
+    pub fn wait_pending_src(&self, port: u32) -> NodeId {
+        self.adapter
+            .inbox()
+            .peek_wait(|f| f.kind == KIND_TCP && f.tag == port as u64)
+            .src
+    }
+
+    /// Non-blocking variant of [`wait_pending_src`](Self::wait_pending_src).
+    pub fn peek_pending_src(&self, port: u32) -> Option<NodeId> {
+        self.adapter
+            .inbox()
+            .try_peek(|f| f.kind == KIND_TCP && f.tag == port as u64)
+            .map(|f| f.src)
+    }
+
+    /// Establish (both sides call this) a full-duplex connection to `peer`
+    /// distinguished by `port`. Setup cost is charged once per side.
+    pub fn connect(&self, peer: NodeId, port: u32) -> TcpConn {
+        assert!(
+            self.adapter.peers().contains(&peer),
+            "node {peer} is not on Ethernet network {:?}",
+            self.adapter.name()
+        );
+        // One RTT of handshake, amortized as one latency each side.
+        time::advance(VDuration::from_micros_f64(self.timing.lat_us));
+        TcpConn {
+            adapter: self.adapter.clone(),
+            timing: self.timing,
+            peer,
+            port,
+            rx: VecDeque::new(),
+        }
+    }
+}
+
+/// One endpoint of an established TCP connection.
+pub struct TcpConn {
+    adapter: Adapter,
+    timing: TcpTiming,
+    peer: NodeId,
+    port: u32,
+    /// Reassembly queue: in-order received chunks not yet consumed.
+    rx: VecDeque<(Bytes, VTime)>,
+}
+
+impl TcpConn {
+    pub fn peer(&self) -> NodeId {
+        self.peer
+    }
+
+    /// Send `data` down the stream. Returns once the socket buffer copy is
+    /// done (the kernel drains asynchronously).
+    pub fn send(&mut self, data: &[u8]) {
+        let t = &self.timing;
+        let oneway =
+            VDuration::from_micros_f64(t.lat_us + data.len() as f64 * t.per_byte_us);
+        let bus_occ = VDuration::from_micros_f64(data.len() as f64 * t.bus_per_byte_us);
+        let arrival = charge_send_bus(&self.adapter, BusKind::Dma, oneway, bus_occ);
+        let arrival = charge_dest_bus(&self.adapter, self.peer, BusKind::Dma, arrival, bus_occ);
+        self.adapter.send_raw(
+            self.peer,
+            Frame {
+                src: self.adapter.node(),
+                kind: KIND_TCP,
+                tag: self.port as u64,
+                arrival,
+                payload: Bytes::copy_from_slice(data),
+            },
+        );
+        time::advance(VDuration::from_micros_f64(t.host_send_us));
+    }
+
+    /// Gathering send (`writev`): the chunks leave as one wire unit costing
+    /// a single latency, with no intermediate concatenation copy.
+    pub fn send_vectored(&mut self, bufs: &[&[u8]]) {
+        let total: usize = bufs.iter().map(|b| b.len()).sum();
+        let t = &self.timing;
+        let oneway = VDuration::from_micros_f64(t.lat_us + total as f64 * t.per_byte_us);
+        let bus_occ = VDuration::from_micros_f64(total as f64 * t.bus_per_byte_us);
+        let arrival = charge_send_bus(&self.adapter, BusKind::Dma, oneway, bus_occ);
+        let arrival = charge_dest_bus(&self.adapter, self.peer, BusKind::Dma, arrival, bus_occ);
+        let mut payload = Vec::with_capacity(total);
+        for b in bufs {
+            payload.extend_from_slice(b);
+        }
+        self.adapter.send_raw(
+            self.peer,
+            Frame {
+                src: self.adapter.node(),
+                kind: KIND_TCP,
+                tag: self.port as u64,
+                arrival,
+                payload: Bytes::from(payload),
+            },
+        );
+        time::advance(VDuration::from_micros_f64(t.host_send_us));
+    }
+
+    /// Receive exactly `buf.len()` bytes (blocking). Stream semantics: the
+    /// chunking of sends is invisible.
+    pub fn recv_exact(&mut self, buf: &mut [u8]) {
+        let mut filled = 0;
+        let mut latest = VTime::ZERO;
+        while filled < buf.len() {
+            if self.rx.is_empty() {
+                let f = self.adapter.inbox().recv_match(|f| {
+                    f.kind == KIND_TCP && f.src == self.peer && f.tag == self.port as u64
+                });
+                self.rx.push_back((f.payload, f.arrival));
+            }
+            let (chunk, arr) = self.rx.front_mut().expect("just filled");
+            let take = (buf.len() - filled).min(chunk.len());
+            buf[filled..filled + take].copy_from_slice(&chunk[..take]);
+            latest = latest.max(*arr);
+            filled += take;
+            if take == chunk.len() {
+                self.rx.pop_front();
+            } else {
+                let rest = chunk.slice(take..);
+                self.rx.front_mut().expect("non-empty").0 = rest;
+            }
+        }
+        time::advance_to(latest);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldBuilder;
+
+    fn eth_pair() -> (crate::world::World, crate::world::NetworkId) {
+        let mut b = WorldBuilder::new(2);
+        let net = b.network("eth0", NetKind::Ethernet, &[0, 1]);
+        (b.build(), net)
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let (w, net) = eth_pair();
+        let out = w.run(|env| {
+            let tcp = TcpStack::new(env.adapter_on(net).unwrap());
+            if env.id() == 0 {
+                let mut c = tcp.connect(1, 5000);
+                c.send(b"hello ");
+                c.send(b"world");
+                Vec::new()
+            } else {
+                let mut c = tcp.connect(0, 5000);
+                let mut buf = vec![0u8; 11];
+                c.recv_exact(&mut buf);
+                buf
+            }
+        });
+        assert_eq!(out[1], b"hello world");
+    }
+
+    #[test]
+    fn recv_smaller_than_send_chunks() {
+        let (w, net) = eth_pair();
+        let out = w.run(|env| {
+            let tcp = TcpStack::new(env.adapter_on(net).unwrap());
+            if env.id() == 0 {
+                let mut c = tcp.connect(1, 1);
+                c.send(b"abcdef");
+                Vec::new()
+            } else {
+                let mut c = tcp.connect(0, 1);
+                let mut a = [0u8; 2];
+                let mut b2 = [0u8; 4];
+                c.recv_exact(&mut a);
+                c.recv_exact(&mut b2);
+                let mut v = a.to_vec();
+                v.extend_from_slice(&b2);
+                v
+            }
+        });
+        assert_eq!(out[1], b"abcdef");
+    }
+
+    #[test]
+    fn latency_floor_matches_model() {
+        let (w, net) = eth_pair();
+        let times = w.run(|env| {
+            let tcp = TcpStack::new(env.adapter_on(net).unwrap());
+            if env.id() == 0 {
+                let mut c = tcp.connect(1, 1);
+                c.send(&[0u8; 4]);
+                0.0
+            } else {
+                let mut c = tcp.connect(0, 1);
+                let mut buf = [0u8; 4];
+                c.recv_exact(&mut buf);
+                time::now().as_micros_f64()
+            }
+        });
+        let t = TcpTiming::default();
+        // connect (one lat) + one-way message time
+        let expected = t.lat_us + t.lat_us + 4.0 * t.per_byte_us;
+        assert!(
+            (times[1] - expected).abs() < 0.5,
+            "got {} expected {}",
+            times[1],
+            expected
+        );
+    }
+
+    #[test]
+    fn ports_demultiplex_connections() {
+        let (w, net) = eth_pair();
+        let out = w.run(|env| {
+            let tcp = TcpStack::new(env.adapter_on(net).unwrap());
+            if env.id() == 0 {
+                let mut a = tcp.connect(1, 1);
+                let mut b2 = tcp.connect(1, 2);
+                b2.send(b"on-two");
+                a.send(b"on-one");
+                Vec::new()
+            } else {
+                let mut a = tcp.connect(0, 1);
+                let mut b2 = tcp.connect(0, 2);
+                let mut buf1 = vec![0u8; 6];
+                a.recv_exact(&mut buf1);
+                let mut buf2 = vec![0u8; 6];
+                b2.recv_exact(&mut buf2);
+                vec![buf1, buf2]
+            }
+        });
+        assert_eq!(out[1][0], b"on-one");
+        assert_eq!(out[1][1], b"on-two");
+    }
+
+    #[test]
+    fn fast_ethernet_is_slow() {
+        let (w, net) = eth_pair();
+        let times = w.run(|env| {
+            let tcp = TcpStack::new(env.adapter_on(net).unwrap());
+            if env.id() == 0 {
+                let mut c = tcp.connect(1, 1);
+                c.send(&vec![0u8; 1 << 20]);
+                0.0
+            } else {
+                let mut c = tcp.connect(0, 1);
+                let mut buf = vec![0u8; 1 << 20];
+                c.recv_exact(&mut buf);
+                time::now().as_micros_f64()
+            }
+        });
+        let bw = crate::perf::mibps(1 << 20, VDuration::from_micros_f64(times[1]));
+        assert!(bw > 10.0 && bw < 12.5, "Fast Ethernet bandwidth {bw} MiB/s");
+    }
+}

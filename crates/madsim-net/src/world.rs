@@ -1,0 +1,543 @@
+//! Cluster topology: worlds, nodes, networks, adapters.
+//!
+//! A [`World`] is a set of nodes (each backed by a real OS thread when the
+//! world runs) connected by one or more named networks. A node that is a
+//! member of a network owns an [`Adapter`] on it — the simulated NIC.
+//! Clusters-of-clusters configurations are expressed naturally: a gateway
+//! node is simply a member of two networks (paper §6).
+
+use crate::frame::{Frame, NodeId};
+use crate::mailbox::Mailbox;
+use crate::pci::{PciBus, PciConfig};
+use crate::time::{self, ClockHandle};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+/// World topology entry: one network's name, fabric kind, and members.
+pub type TopologyEntry = (Arc<str>, NetKind, Arc<[NodeId]>);
+
+/// Hardware family of a network. Protocol stacks assert they are
+/// instantiated on a compatible fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NetKind {
+    /// Dolphin SCI ring/torus (remote-mapped segments; SISCI stack).
+    Sci,
+    /// Myricom Myrinet (LANai NIC; BIP stack).
+    Myrinet,
+    /// Commodity Fast Ethernet (TCP and SBP stacks).
+    Ethernet,
+    /// A VIA-capable SAN (GigaNet cLAN-like; VIA stack).
+    ViaSan,
+}
+
+/// Identifier of a network within a world.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NetworkId(pub usize);
+
+struct NetworkSpec {
+    name: Arc<str>,
+    kind: NetKind,
+    members: Vec<NodeId>,
+}
+
+/// Builder for a [`World`].
+pub struct WorldBuilder {
+    n_nodes: usize,
+    networks: Vec<NetworkSpec>,
+    pci_cfg: PciConfig,
+}
+
+impl WorldBuilder {
+    pub fn new(n_nodes: usize) -> Self {
+        assert!(n_nodes > 0, "a world needs at least one node");
+        WorldBuilder {
+            n_nodes,
+            networks: Vec::new(),
+            pci_cfg: PciConfig::default(),
+        }
+    }
+
+    /// Override the per-node host-bus contention constants.
+    pub fn pci_config(mut self, cfg: PciConfig) -> Self {
+        self.pci_cfg = cfg;
+        self
+    }
+
+    /// Declare a network connecting `members` (global node ids).
+    ///
+    /// # Panics
+    /// Panics on out-of-range members, duplicate members, fewer than two
+    /// members, or a duplicate network name.
+    pub fn network(&mut self, name: &str, kind: NetKind, members: &[NodeId]) -> NetworkId {
+        assert!(
+            members.len() >= 2,
+            "network {name:?} needs at least two members"
+        );
+        let mut seen = members.to_vec();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), members.len(), "duplicate members in {name:?}");
+        for &m in members {
+            assert!(m < self.n_nodes, "member {m} out of range in {name:?}");
+        }
+        assert!(
+            self.networks.iter().all(|n| &*n.name != name),
+            "duplicate network name {name:?}"
+        );
+        let id = NetworkId(self.networks.len());
+        self.networks.push(NetworkSpec {
+            name: Arc::from(name),
+            kind,
+            members: members.to_vec(),
+        });
+        id
+    }
+
+    pub fn build(self) -> World {
+        // One inbound mailbox per (network, member node).
+        let mut networks = Vec::with_capacity(self.networks.len());
+        for spec in &self.networks {
+            let mailboxes: Arc<HashMap<NodeId, Mailbox<Frame>>> = Arc::new(
+                spec.members
+                    .iter()
+                    .map(|&m| (m, Mailbox::new()))
+                    .collect(),
+            );
+            networks.push(BuiltNetwork {
+                uid: NEXT_NET_UID.fetch_add(1, Ordering::Relaxed),
+                name: Arc::clone(&spec.name),
+                kind: spec.kind,
+                members: Arc::from(spec.members.as_slice()),
+                mailboxes,
+            });
+        }
+        let buses = Arc::new(
+            (0..self.n_nodes)
+                .map(|_| PciBus::new(self.pci_cfg))
+                .collect::<Vec<_>>(),
+        );
+        World {
+            n_nodes: self.n_nodes,
+            networks,
+            buses,
+        }
+    }
+}
+
+static NEXT_NET_UID: AtomicU64 = AtomicU64::new(1);
+
+struct BuiltNetwork {
+    /// Process-unique id, so per-network global registries (e.g. the SISCI
+    /// segment directory) never collide across worlds or tests.
+    uid: u64,
+    name: Arc<str>,
+    kind: NetKind,
+    members: Arc<[NodeId]>,
+    mailboxes: Arc<HashMap<NodeId, Mailbox<Frame>>>,
+}
+
+/// A fully-built cluster (of clusters). See [`WorldBuilder`].
+pub struct World {
+    n_nodes: usize,
+    networks: Vec<BuiltNetwork>,
+    buses: Arc<Vec<PciBus>>,
+}
+
+impl World {
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    fn env_for(&self, node: NodeId, barrier: Arc<Barrier>) -> NodeEnv {
+        let adapters = self
+            .networks
+            .iter()
+            .enumerate()
+            .filter(|(_, net)| net.members.contains(&node))
+            .map(|(i, net)| Adapter {
+                uid: net.uid,
+                net: NetworkId(i),
+                kind: net.kind,
+                name: Arc::clone(&net.name),
+                node,
+                peers: Arc::clone(&net.members),
+                mailboxes: Arc::clone(&net.mailboxes),
+                pci: self.buses[node].clone(),
+                all_buses: Arc::clone(&self.buses),
+            })
+            .collect();
+        let topology = Arc::new(
+            self.networks
+                .iter()
+                .map(|n| (Arc::clone(&n.name), n.kind, Arc::clone(&n.members)))
+                .collect::<Vec<_>>(),
+        );
+        NodeEnv {
+            node,
+            n_nodes: self.n_nodes,
+            adapters,
+            pci: self.buses[node].clone(),
+            barrier,
+            topology,
+        }
+    }
+
+    /// Run `f` once per node, each on its own OS thread with a fresh virtual
+    /// clock, and return the per-node results in node order.
+    ///
+    /// Panics in any node thread are propagated (after all threads are
+    /// joined, so no work is silently lost).
+    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(NodeEnv) -> T + Send + Sync,
+    {
+        let barrier = Arc::new(Barrier::new(self.n_nodes));
+        thread::scope(|s| {
+            let mut handles = Vec::with_capacity(self.n_nodes);
+            for node in 0..self.n_nodes {
+                let env = self.env_for(node, Arc::clone(&barrier));
+                let f = &f;
+                handles.push(s.spawn(move || {
+                    let prev = time::install_clock(ClockHandle::new());
+                    let out = f(env);
+                    time::restore_clock(prev);
+                    out
+                }));
+            }
+            let mut results = Vec::with_capacity(self.n_nodes);
+            let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+            for h in handles {
+                match h.join() {
+                    Ok(v) => results.push(v),
+                    Err(e) => panic = Some(e),
+                }
+            }
+            if let Some(e) = panic {
+                std::panic::resume_unwind(e);
+            }
+            results
+        })
+    }
+}
+
+/// Per-node execution environment handed to the closure of [`World::run`].
+pub struct NodeEnv {
+    node: NodeId,
+    n_nodes: usize,
+    adapters: Vec<Adapter>,
+    pci: PciBus,
+    barrier: Arc<Barrier>,
+    /// World topology: every network's (name, kind, members) — global
+    /// configuration knowledge every node legitimately has.
+    topology: Arc<Vec<TopologyEntry>>,
+}
+
+impl NodeEnv {
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// All adapters this node owns, in network-declaration order.
+    pub fn adapters(&self) -> &[Adapter] {
+        &self.adapters
+    }
+
+    /// The adapter on network `net`, if this node is a member.
+    pub fn adapter_on(&self, net: NetworkId) -> Option<&Adapter> {
+        self.adapters.iter().find(|a| a.net == net)
+    }
+
+    /// The adapter on the network named `name`, if this node is a member.
+    pub fn adapter_named(&self, name: &str) -> Option<&Adapter> {
+        self.adapters.iter().find(|a| &*a.name == name)
+    }
+
+    /// This node's host I/O bus.
+    pub fn pci(&self) -> &PciBus {
+        &self.pci
+    }
+
+    /// Members of the named network, whether or not this node is one
+    /// (topology is static configuration, not a secret).
+    pub fn members_of(&self, network: &str) -> Option<Vec<NodeId>> {
+        self.topology
+            .iter()
+            .find(|(n, _, _)| &**n == network)
+            .map(|(_, _, m)| m.to_vec())
+    }
+
+    /// Names and kinds of every network in the world.
+    pub fn networks(&self) -> Vec<(String, NetKind)> {
+        self.topology
+            .iter()
+            .map(|(n, k, _)| (n.to_string(), *k))
+            .collect()
+    }
+
+    /// Real-time barrier across *all* nodes of the world.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Spawn an auxiliary thread on this node (e.g. a gateway pipeline
+    /// half). The thread gets its own virtual clock, initialized to the
+    /// spawner's current virtual time.
+    pub fn spawn_thread<T, F>(&self, f: F) -> thread::JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let start = time::now();
+        thread::spawn(move || {
+            let clock = ClockHandle::new();
+            clock.advance_to(start);
+            let prev = time::install_clock(clock);
+            let out = f();
+            time::restore_clock(prev);
+            out
+        })
+    }
+}
+
+/// A simulated NIC: this node's endpoint on one network.
+///
+/// The adapter is *raw*: it moves frames and enforces membership, but all
+/// timing is charged by the protocol stack driving it (see
+/// [`crate::stacks`]), mirroring how BIP/SISCI/VIA own their NICs.
+#[derive(Clone)]
+pub struct Adapter {
+    uid: u64,
+    net: NetworkId,
+    kind: NetKind,
+    name: Arc<str>,
+    node: NodeId,
+    peers: Arc<[NodeId]>,
+    mailboxes: Arc<HashMap<NodeId, Mailbox<Frame>>>,
+    pci: PciBus,
+    all_buses: Arc<Vec<PciBus>>,
+}
+
+impl Adapter {
+    /// Process-unique id of the underlying network.
+    pub fn uid(&self) -> u64 {
+        self.uid
+    }
+
+    pub fn network(&self) -> NetworkId {
+        self.net
+    }
+
+    pub fn kind(&self) -> NetKind {
+        self.kind
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node owning this adapter.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// All members of this network (including this node).
+    pub fn peers(&self) -> &[NodeId] {
+        &self.peers
+    }
+
+    /// Host bus of the owning node.
+    pub fn pci(&self) -> &PciBus {
+        &self.pci
+    }
+
+    /// Host bus of any node in the world. Simulation-level access: a
+    /// sending stack charges the *receiver's* inbound bus crossing when it
+    /// computes the frame's arrival (the NIC's bus-master transactions on
+    /// the far side), which keeps contention visible to transfers the
+    /// receiving node issues later.
+    pub fn pci_of(&self, node: NodeId) -> &PciBus {
+        &self.all_buses[node]
+    }
+
+    /// Deliver a frame to `dst`'s inbound mailbox on this network.
+    ///
+    /// # Panics
+    /// Panics if `dst` is not a member of this network — the simulated wire
+    /// does not reach it.
+    pub fn send_raw(&self, dst: NodeId, frame: Frame) {
+        let mb = self
+            .mailboxes
+            .get(&dst)
+            .unwrap_or_else(|| panic!("node {dst} is not on network {:?}", self.name));
+        mb.push(frame);
+    }
+
+    /// This node's inbound mailbox on this network.
+    pub fn inbox(&self) -> &Mailbox<Frame> {
+        self.mailboxes
+            .get(&self.node)
+            .expect("adapter owner is a member")
+    }
+
+    /// Another member's inbound mailbox (simulation-level introspection,
+    /// used by stacks to enforce receiver-side capacity contracts).
+    ///
+    /// # Panics
+    /// Panics if `node` is not a member of this network.
+    pub fn inbox_of(&self, node: NodeId) -> Mailbox<Frame> {
+        self.mailboxes
+            .get(&node)
+            .unwrap_or_else(|| panic!("node {node} is not on network {:?}", self.name))
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{VDuration, VTime};
+    use bytes::Bytes;
+
+    #[test]
+    fn builder_validates_membership() {
+        let mut b = WorldBuilder::new(3);
+        b.network("sci0", NetKind::Sci, &[0, 1, 2]);
+        let w = b.build();
+        assert_eq!(w.n_nodes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_rejects_out_of_range_member() {
+        let mut b = WorldBuilder::new(2);
+        b.network("x", NetKind::Ethernet, &[0, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate members")]
+    fn builder_rejects_duplicate_member() {
+        let mut b = WorldBuilder::new(3);
+        b.network("x", NetKind::Ethernet, &[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate network name")]
+    fn builder_rejects_duplicate_name() {
+        let mut b = WorldBuilder::new(3);
+        b.network("x", NetKind::Ethernet, &[0, 1]);
+        b.network("x", NetKind::Sci, &[1, 2]);
+    }
+
+    #[test]
+    fn nodes_see_only_their_networks() {
+        let mut b = WorldBuilder::new(4);
+        let sci = b.network("sci0", NetKind::Sci, &[0, 1]);
+        let myr = b.network("myr0", NetKind::Myrinet, &[1, 2, 3]);
+        let w = b.build();
+        let counts = w.run(|env| {
+            (
+                env.adapters().len(),
+                env.adapter_on(sci).is_some(),
+                env.adapter_on(myr).is_some(),
+            )
+        });
+        assert_eq!(counts[0], (1, true, false));
+        assert_eq!(counts[1], (2, true, true)); // the gateway
+        assert_eq!(counts[2], (1, false, true));
+        assert_eq!(counts[3], (1, false, true));
+    }
+
+    #[test]
+    fn frames_flow_between_members() {
+        let mut b = WorldBuilder::new(2);
+        let net = b.network("eth0", NetKind::Ethernet, &[0, 1]);
+        let w = b.build();
+        let out = w.run(|env| {
+            let a = env.adapter_on(net).unwrap();
+            if env.id() == 0 {
+                a.send_raw(
+                    1,
+                    Frame {
+                        src: 0,
+                        kind: 1,
+                        tag: 42,
+                        arrival: VTime::from_nanos(777),
+                        payload: Bytes::from_static(b"hello"),
+                    },
+                );
+                Vec::new()
+            } else {
+                let f = a.inbox().recv_match(|f| f.tag == 42);
+                f.payload.to_vec()
+            }
+        });
+        assert_eq!(out[1], b"hello");
+    }
+
+    #[test]
+    fn run_propagates_node_panics() {
+        let mut b = WorldBuilder::new(2);
+        b.network("eth0", NetKind::Ethernet, &[0, 1]);
+        let w = b.build();
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            w.run(|env| {
+                if env.id() == 1 {
+                    panic!("node failure");
+                }
+            });
+        }));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn node_threads_have_independent_clocks() {
+        let mut b = WorldBuilder::new(2);
+        b.network("eth0", NetKind::Ethernet, &[0, 1]);
+        let w = b.build();
+        let times = w.run(|env| {
+            if env.id() == 0 {
+                time::advance(VDuration::from_micros(10));
+            }
+            time::now().as_nanos()
+        });
+        assert_eq!(times[0], 10_000);
+        assert_eq!(times[1], 0);
+    }
+
+    #[test]
+    fn spawn_thread_inherits_virtual_time() {
+        let mut b = WorldBuilder::new(2);
+        b.network("eth0", NetKind::Ethernet, &[0, 1]);
+        let w = b.build();
+        let out = w.run(|env| {
+            time::advance(VDuration::from_micros(5));
+            let h = env.spawn_thread(|| {
+                time::advance(VDuration::from_micros(1));
+                time::now().as_nanos()
+            });
+            h.join().unwrap()
+        });
+        assert_eq!(out, vec![6_000, 6_000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not on network")]
+    fn send_to_non_member_panics() {
+        let mut b = WorldBuilder::new(3);
+        let net = b.network("sci0", NetKind::Sci, &[0, 1]);
+        let w = b.build();
+        w.run(|env| {
+            if env.id() == 0 {
+                let a = env.adapter_on(net).unwrap();
+                a.send_raw(2, Frame::control(0, 0, 0, VTime::ZERO));
+            }
+        });
+    }
+}

@@ -1,0 +1,1 @@
+//! Example applications live as cargo examples of this package; see `quickstart.rs` and friends in this directory.

@@ -1,0 +1,1 @@
+//! Cross-crate integration tests live as cargo tests of this package.
