@@ -22,7 +22,10 @@ fn bench_fig4(c: &mut Criterion) {
 }
 
 fn bench_fig5(c: &mut Criterion) {
-    print_table("Fig. 5 — Madeleine II over BIP/Myrinet", &experiments::fig5());
+    print_table(
+        "Fig. 5 — Madeleine II over BIP/Myrinet",
+        &experiments::fig5(),
+    );
     let mut g = c.benchmark_group("fig5_bip");
     g.sample_size(10);
     g.bench_function("oneway_8k", |b| {
@@ -49,7 +52,10 @@ fn bench_fig6(c: &mut Criterion) {
 }
 
 fn bench_fig7(c: &mut Criterion) {
-    print_table("Fig. 7 — Nexus/Madeleine II performance", &experiments::fig7());
+    print_table(
+        "Fig. 7 — Nexus/Madeleine II performance",
+        &experiments::fig7(),
+    );
     let mut g = c.benchmark_group("fig7_nexus");
     g.sample_size(10);
     g.bench_function("rsr_oneway_4b", |b| {
@@ -85,7 +91,10 @@ fn bench_fig11(c: &mut Criterion) {
 }
 
 fn bench_dma_ablation(c: &mut Criterion) {
-    print_table("SCI DMA ablation (§5.2.1)", &experiments::sci_dma_ablation());
+    print_table(
+        "SCI DMA ablation (§5.2.1)",
+        &experiments::sci_dma_ablation(),
+    );
     let mut g = c.benchmark_group("sci_dma_ablation");
     g.sample_size(10);
     g.bench_function("dma_oneway_256k", |b| {

@@ -13,7 +13,10 @@ use bench::table::print_table;
 fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     if matches!(what.as_str(), "dma" | "all") {
-        print_table("SCI DMA vs PIO (why the DMA TM ships disabled)", &experiments::sci_dma_ablation());
+        print_table(
+            "SCI DMA vs PIO (why the DMA TM ships disabled)",
+            &experiments::sci_dma_ablation(),
+        );
     }
     if matches!(what.as_str(), "bandwidth" | "all") {
         print_table(

@@ -1,0 +1,115 @@
+//! Copy-accounting bench: who copies what, per emission-flag combination,
+//! plus the buffer pool's steady-state behaviour. Prints aligned tables
+//! and writes the raw numbers to `BENCH_copies.json`.
+//!
+//! Usage: `copies [--out PATH] [--body BYTES] [--rounds N]`
+
+use bench::experiments::{copy_matrix, pool_steady_state, CopyCell};
+use madeleine::Protocol;
+
+#[derive(serde::Serialize)]
+struct PoolRow {
+    protocol: String,
+    rounds: usize,
+    body: usize,
+    hits: u64,
+    misses: u64,
+    hit_rate: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Output {
+    body: usize,
+    matrix: Vec<CopyCell>,
+    pool: Vec<PoolRow>,
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_copies.json".into());
+    let body: usize = arg_value(&args, "--body")
+        .map(|v| v.parse().expect("--body takes a byte count"))
+        .unwrap_or(1 << 20);
+    let rounds: usize = arg_value(&args, "--rounds")
+        .map(|v| v.parse().expect("--rounds takes a count"))
+        .unwrap_or(50);
+    let protocols = [
+        Protocol::Tcp,
+        Protocol::Sisci,
+        Protocol::Bip,
+        Protocol::Via,
+        Protocol::Sbp,
+    ];
+
+    println!("== copy matrix — {body} B body, per-node counter deltas ==");
+    println!(
+        "{:>6} {:>8} {:>8} {:>12} {:>12} {:>12} {:>8} {:>12} {:>12} {:>6} {:>6}",
+        "proto",
+        "send",
+        "recv",
+        "s.copied",
+        "s.tm_copied",
+        "s.borrowed",
+        "s.gath",
+        "r.copied",
+        "r.tm_copied",
+        "hits",
+        "miss"
+    );
+    let mut matrix = Vec::new();
+    for p in protocols {
+        for c in copy_matrix(p, body) {
+            println!(
+                "{:>6} {:>8} {:>8} {:>12} {:>12} {:>12} {:>8} {:>12} {:>12} {:>6} {:>6}",
+                c.protocol,
+                c.send_mode,
+                c.recv_mode,
+                c.send_copied_bytes,
+                c.send_tm_copied_bytes,
+                c.send_borrowed_bytes,
+                c.send_gathers,
+                c.recv_copied_bytes,
+                c.recv_tm_copied_bytes,
+                c.pool_hits,
+                c.pool_misses
+            );
+            matrix.push(c);
+        }
+    }
+
+    println!("\n== buffer pool — steady-state ping-pong, {rounds} rounds x 256 B ==");
+    println!(
+        "{:>6} {:>8} {:>8} {:>10}",
+        "proto", "hits", "misses", "hit rate"
+    );
+    let mut pool = Vec::new();
+    for p in protocols {
+        let (rate, hits, misses) = pool_steady_state(p, rounds, 256);
+        println!(
+            "{:>6} {:>8} {:>8} {:>9.1}%",
+            format!("{p:?}"),
+            hits,
+            misses,
+            rate * 100.0
+        );
+        pool.push(PoolRow {
+            protocol: format!("{p:?}"),
+            rounds,
+            body: 256,
+            hits,
+            misses,
+            hit_rate: rate,
+        });
+    }
+
+    let out = Output { body, matrix, pool };
+    let json = serde_json::to_string_pretty(&out).expect("serialize results");
+    std::fs::write(&out_path, json).expect("write results");
+    eprintln!("wrote {out_path}");
+}

@@ -26,23 +26,58 @@ fn main() {
         .and_then(|i| args.get(i + 1).cloned());
     let what = args.first().map(|s| s.as_str()).unwrap_or("all");
     if matches!(what, "fig4" | "all") {
-        emit(&json_dir, "fig4", "Fig. 4 — Madeleine II over SISCI/SCI", &experiments::fig4());
+        emit(
+            &json_dir,
+            "fig4",
+            "Fig. 4 — Madeleine II over SISCI/SCI",
+            &experiments::fig4(),
+        );
     }
     if matches!(what, "fig5" | "all") {
-        emit(&json_dir, "fig5", "Fig. 5 — Madeleine II over BIP/Myrinet", &experiments::fig5());
+        emit(
+            &json_dir,
+            "fig5",
+            "Fig. 5 — Madeleine II over BIP/Myrinet",
+            &experiments::fig5(),
+        );
     }
     if matches!(what, "fig6" | "all") {
-        emit(&json_dir, "fig6_bw", "Fig. 6 — MPI implementations over SCI (bandwidth)", &experiments::fig6());
-        emit(&json_dir, "fig6_lat", "Fig. 6 — MPI implementations over SCI (latency)", &experiments::fig6_latency());
+        emit(
+            &json_dir,
+            "fig6_bw",
+            "Fig. 6 — MPI implementations over SCI (bandwidth)",
+            &experiments::fig6(),
+        );
+        emit(
+            &json_dir,
+            "fig6_lat",
+            "Fig. 6 — MPI implementations over SCI (latency)",
+            &experiments::fig6_latency(),
+        );
     }
     if matches!(what, "fig7" | "all") {
-        emit(&json_dir, "fig7", "Fig. 7 — Nexus/Madeleine II performance", &experiments::fig7());
+        emit(
+            &json_dir,
+            "fig7",
+            "Fig. 7 — Nexus/Madeleine II performance",
+            &experiments::fig7(),
+        );
     }
     if matches!(what, "dma" | "all") {
-        emit(&json_dir, "dma", "SCI DMA ablation (§5.2.1)", &experiments::sci_dma_ablation());
+        emit(
+            &json_dir,
+            "dma",
+            "SCI DMA ablation (§5.2.1)",
+            &experiments::sci_dma_ablation(),
+        );
     }
     if matches!(what, "crossover" | "all") {
-        emit(&json_dir, "crossover", "§6.2.1 crossover — Madeleine one-way at 8/16/32 kB", &experiments::crossover_check());
+        emit(
+            &json_dir,
+            "crossover",
+            "§6.2.1 crossover — Madeleine one-way at 8/16/32 kB",
+            &experiments::crossover_check(),
+        );
     }
     if matches!(what, "fig10" | "all") {
         emit(

@@ -3,8 +3,17 @@ fn main() {
         Some("m2s") => bench::experiments::ForwardDir::MyrinetToSci,
         _ => bench::experiments::ForwardDir::SciToMyrinet,
     };
-    let p: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(8192);
-    let m: usize = std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(262144);
+    let p: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8192);
+    let m: usize = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(262144);
     let t = bench::experiments::forwarding_oneway_us(dir, p, m);
-    eprintln!("one-way us: {t:.1}  bw: {:.2} MiB/s", m as f64 / t / 1.048576);
+    eprintln!(
+        "one-way us: {t:.1}  bw: {:.2} MiB/s",
+        m as f64 / t / 1.048576
+    );
 }

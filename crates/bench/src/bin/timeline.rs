@@ -83,6 +83,15 @@ fn main() {
                     format!("CHECKOUT (TM switch {from} -> {to})")
                 }
                 TraceEvent::EndUnpacking => "end_unpacking (final checkout)".into(),
+                TraceEvent::MessageStats {
+                    copied_bytes,
+                    borrowed_bytes,
+                    pool_hits,
+                    pool_misses,
+                } => format!(
+                    "message stats: {copied_bytes} B copied, {borrowed_bytes} B \
+                     by reference, pool {pool_hits} hits / {pool_misses} misses"
+                ),
             };
             println!("{:>10.2}us  {desc}", t.at.as_micros_f64());
         }

@@ -8,13 +8,22 @@ use bench::workloads;
 fn main() {
     let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     if matches!(what.as_str(), "halo" | "all") {
-        print_table("1-D halo exchange (ring, even/odd ordered)", &workloads::halo_exchange_scaling());
+        print_table(
+            "1-D halo exchange (ring, even/odd ordered)",
+            &workloads::halo_exchange_scaling(),
+        );
     }
     if matches!(what.as_str(), "rpc" | "all") {
-        print_table("Nexus RPC storm (clients -> one server)", &workloads::rpc_storm());
+        print_table(
+            "Nexus RPC storm (clients -> one server)",
+            &workloads::rpc_storm(),
+        );
     }
     if matches!(what.as_str(), "transpose" | "all") {
-        print_table("MPI all-to-all matrix transpose", &workloads::transpose_workload());
+        print_table(
+            "MPI all-to-all matrix transpose",
+            &workloads::transpose_workload(),
+        );
     }
     if matches!(what.as_str(), "pi" | "all") {
         let (pi, t) = workloads::monte_carlo_pi(4, 100_000);

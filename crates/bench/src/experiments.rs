@@ -18,7 +18,20 @@ use madsim_net::{NetKind, WorldBuilder};
 /// Message sizes swept by the latency/bandwidth figures.
 pub fn sweep_sizes() -> Vec<usize> {
     vec![
-        4, 16, 64, 256, 1024, 4096, 8192, 16384, 32768, 65536, 131072, 262144, 524288, 1 << 20,
+        4,
+        16,
+        64,
+        256,
+        1024,
+        4096,
+        8192,
+        16384,
+        32768,
+        65536,
+        131072,
+        262144,
+        524288,
+        1 << 20,
     ]
 }
 
@@ -255,11 +268,8 @@ pub fn forwarding_oneway_us_with(
     b.network("sci0", NetKind::Sci, &[0, 1]);
     b.network("myr0", NetKind::Myrinet, &[1, 2]);
     let world = b.build();
-    let config = Config::one("sci", "sci0", Protocol::Sisci).with_channel(
-        "myr",
-        "myr0",
-        Protocol::Bip,
-    );
+    let config =
+        Config::one("sci", "sci0", Protocol::Sisci).with_channel("myr", "myr0", Protocol::Bip);
     let (from, to) = match dir {
         ForwardDir::SciToMyrinet => (0usize, 2usize),
         ForwardDir::MyrinetToSci => (2, 0),
@@ -320,7 +330,6 @@ pub fn forwarding_figure(dir: ForwardDir) -> Vec<Series> {
         })
         .collect()
 }
-
 
 /// Ablation of the paper's proposed **gateway bandwidth control** (its
 /// conclusion's future-work item): achieved Myrinet→SCI forwarding
@@ -407,6 +416,130 @@ fn multi_block_oneway_us(protocol: Protocol, k: usize, block: usize, aggregate: 
     times[1]
 }
 
+/// One row of the copy-accounting matrix (`copies` bench binary): sender
+/// and receiver counter deltas for a single message under one
+/// emission/reception flag combination.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct CopyCell {
+    pub protocol: String,
+    pub send_mode: &'static str,
+    pub recv_mode: &'static str,
+    pub body: usize,
+    /// Generic-layer copies on the sender (what emission flags control).
+    pub send_copied_bytes: u64,
+    /// Protocol-internal copies on the sender (no flag can remove these).
+    pub send_tm_copied_bytes: u64,
+    /// Bytes the sender's TMs read straight from user memory.
+    pub send_borrowed_bytes: u64,
+    /// Native scatter/gather flushes on the sender.
+    pub send_gathers: u64,
+    pub recv_copied_bytes: u64,
+    pub recv_tm_copied_bytes: u64,
+    pub recv_borrowed_bytes: u64,
+    /// Pool checkouts served from a recycled slab (both ends).
+    pub pool_hits: u64,
+    pub pool_misses: u64,
+}
+
+/// Measure the copy-accounting matrix of one protocol: every send flag ×
+/// receive flag combination for one `n`-byte body, a fresh world per cell.
+pub fn copy_matrix(protocol: Protocol, n: usize) -> Vec<CopyCell> {
+    let mut out = Vec::new();
+    for (smode, sname) in [
+        (SendMode::Cheaper, "CHEAPER"),
+        (SendMode::Safer, "SAFER"),
+        (SendMode::Later, "LATER"),
+    ] {
+        for (rmode, rname) in [
+            (RecvMode::Cheaper, "CHEAPER"),
+            (RecvMode::Express, "EXPRESS"),
+        ] {
+            let (net, kind) = net_for(protocol);
+            let mut b = WorldBuilder::new(2);
+            b.network(net, kind, &[0, 1]);
+            let world = b.build();
+            let config = Config::one("ch", net, protocol);
+            let deltas = world.run(move |env| {
+                let mad = Madeleine::init(&env, &config);
+                let ch = mad.channel("ch");
+                let before = ch.stats().snapshot();
+                if env.id() == 0 {
+                    let data = vec![0x5Au8; n];
+                    let mut m = ch.begin_packing(1);
+                    m.pack(&data, smode, rmode);
+                    m.end_packing();
+                } else {
+                    let mut buf = vec![0u8; n];
+                    let mut m = ch.begin_unpacking();
+                    m.unpack(&mut buf, smode, rmode);
+                    m.end_unpacking();
+                }
+                ch.stats().snapshot().since(&before)
+            });
+            let (s, r) = (deltas[0], deltas[1]);
+            out.push(CopyCell {
+                protocol: format!("{protocol:?}"),
+                send_mode: sname,
+                recv_mode: rname,
+                body: n,
+                send_copied_bytes: s.copied_bytes,
+                send_tm_copied_bytes: s.tm_copied_bytes,
+                send_borrowed_bytes: s.borrowed_bytes,
+                send_gathers: s.gathers,
+                recv_copied_bytes: r.copied_bytes,
+                recv_tm_copied_bytes: r.tm_copied_bytes,
+                recv_borrowed_bytes: r.borrowed_bytes,
+                pool_hits: s.pool_hits + r.pool_hits,
+                pool_misses: s.pool_misses + r.pool_misses,
+            });
+        }
+    }
+    out
+}
+
+/// Steady-state pool behaviour over `rounds` of an n-byte ping-pong:
+/// returns `(hit_rate, hits, misses)` summed over both nodes.
+pub fn pool_steady_state(protocol: Protocol, rounds: usize, n: usize) -> (f64, u64, u64) {
+    let (net, kind) = net_for(protocol);
+    let mut b = WorldBuilder::new(2);
+    b.network(net, kind, &[0, 1]);
+    let world = b.build();
+    let config = Config::one("ch", net, protocol);
+    let counters = world.run(move |env| {
+        let mad = Madeleine::init(&env, &config);
+        let ch = mad.channel("ch");
+        let payload = vec![0xA5u8; n];
+        for _ in 0..rounds {
+            if env.id() == 0 {
+                let mut m = ch.begin_packing(1);
+                m.pack(&payload, SendMode::Cheaper, RecvMode::Cheaper);
+                m.end_packing();
+                let mut echo = vec![0u8; n];
+                let mut m = ch.begin_unpacking();
+                m.unpack(&mut echo, SendMode::Cheaper, RecvMode::Cheaper);
+                m.end_unpacking();
+            } else {
+                let mut echo = vec![0u8; n];
+                let mut m = ch.begin_unpacking();
+                m.unpack(&mut echo, SendMode::Cheaper, RecvMode::Cheaper);
+                m.end_unpacking();
+                let mut m = ch.begin_packing(0);
+                m.pack(&echo, SendMode::Cheaper, RecvMode::Cheaper);
+                m.end_packing();
+            }
+        }
+        (ch.stats().pool_hits(), ch.stats().pool_misses())
+    });
+    let hits: u64 = counters.iter().map(|c| c.0).sum();
+    let misses: u64 = counters.iter().map(|c| c.1).sum();
+    let total = hits + misses;
+    let rate = if total == 0 {
+        1.0
+    } else {
+        hits as f64 / total as f64
+    };
+    (rate, hits, misses)
+}
 
 /// §6.2.1's crossover check: Madeleine over SCI and Myrinet deliver
 /// "approximately the same performance for messages of size 16 kB".
@@ -419,7 +552,6 @@ pub fn crossover_check() -> Vec<Series> {
     }
     vec![sci, myr]
 }
-
 
 /// What-if: Madeleine II's software architecture on a modern fabric.
 /// Retimes the BIP-like stack to 200 Gb/s-class numbers (1 µs latency,

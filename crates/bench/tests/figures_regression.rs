@@ -113,7 +113,10 @@ fn fig7_claims() {
     assert!(sci < 25.0, "Nexus/Mad/SISCI latency {sci:.1} >= 25 us");
     let tcp = experiments::nexus_oneway_us(Protocol::Tcp, 4);
     assert!(tcp > sci * 4.0);
-    let bulk = bw_of(experiments::nexus_oneway_us(Protocol::Sisci, 1 << 20), 1 << 20);
+    let bulk = bw_of(
+        experiments::nexus_oneway_us(Protocol::Sisci, 1 << 20),
+        1 << 20,
+    );
     assert!(bulk > 75.0, "Nexus bulk bandwidth {bulk:.1} too low");
 }
 
@@ -122,8 +125,14 @@ fn fig7_claims() {
 #[test]
 fn sci_dma_band() {
     let n = 1 << 18;
-    let dma = bw_of(experiments::madeleine_oneway_us(Protocol::Sisci, n, true), n);
-    let pio = bw_of(experiments::madeleine_oneway_us(Protocol::Sisci, n, false), n);
+    let dma = bw_of(
+        experiments::madeleine_oneway_us(Protocol::Sisci, n, true),
+        n,
+    );
+    let pio = bw_of(
+        experiments::madeleine_oneway_us(Protocol::Sisci, n, false),
+        n,
+    );
     assert!((26.0..36.0).contains(&dma), "DMA {dma:.1} outside 26–36");
     assert!(pio > dma * 2.0);
 }

@@ -26,6 +26,7 @@ use madeleine::bmm::SendPolicy;
 use madeleine::config::Config;
 use madeleine::flags::{RecvMode, SendMode};
 use madeleine::pmm::Pmm;
+use madeleine::pool::{BufPool, PooledBuf};
 use madeleine::stats::Stats;
 use madeleine::tm::StaticBuf;
 use madeleine::Madeleine;
@@ -87,14 +88,14 @@ impl RateLimiter {
     /// Block (in virtual time) until `len` more payload bytes may enter.
     fn admit(&mut self, len: usize) {
         let now = time::advance_to(self.next_allowed);
-        self.next_allowed =
-            now + VDuration::from_micros_f64(len as f64 / self.bytes_per_us);
+        self.next_allowed = now + VDuration::from_micros_f64(len as f64 / self.bytes_per_us);
     }
 }
 
 enum GwPayload {
-    /// Reusable staging memory (dynamic→dynamic).
-    Dyn(Vec<u8>),
+    /// Pooled staging memory (dynamic→dynamic): with dual buffering the
+    /// direction's pool converges on `depth` warm slabs that just cycle.
+    Dyn(PooledBuf),
     /// A buffer obtained from the *outgoing* TM and filled directly.
     OutStatic(StaticBuf),
     /// The *incoming* protocol's arrival buffer, forwarded as-is.
@@ -152,7 +153,10 @@ impl Gateway {
                 let out_pmm = Arc::clone(mad.channel(&spec.hops[hop_out]).pmm());
                 let stats = Stats::new();
                 stats_out.push((
-                    format!("{}:{}->{}", spec.name, spec.hops[hop_in], spec.hops[hop_out]),
+                    format!(
+                        "{}:{}->{}",
+                        spec.name, spec.hops[hop_in], spec.hops[hop_out]
+                    ),
                     Arc::clone(&stats),
                 ));
                 threads.extend(spawn_direction(
@@ -217,6 +221,7 @@ fn spawn_direction(
         let stats = Arc::clone(&stats);
         let stop = Arc::clone(&stop);
         let mut limiter = gwcfg.inbound_limit_mibps.map(RateLimiter::new);
+        let pool = BufPool::new(Arc::clone(&stats));
         env.spawn_thread(move || {
             loop {
                 let Some(neighbor) = in_pmm.poll_incoming() else {
@@ -239,7 +244,8 @@ fn spawn_direction(
                 if let Some(l) = limiter.as_mut() {
                     l.admit(hdr.len);
                 }
-                let payload = receive_payload(&in_pmm, &out_pmm, neighbor, &hdr, host, &stats);
+                let payload =
+                    receive_payload(&in_pmm, &out_pmm, neighbor, &hdr, &pool, host, &stats);
                 time::advance(VDuration::from_micros_f64(GW_RECV_OVERHEAD_US));
                 if std::env::var("GW_DEBUG").is_ok() {
                     eprintln!("gw-recv frag len {} done at {:?}", hdr.len, time::now());
@@ -291,7 +297,14 @@ fn spawn_direction(
                         stats.record_buffer_sent();
                     }
                     GwPayload::InStatic(buf) => {
-                        hop_send(&out_pmm, next, buf.filled(), RecvMode::Cheaper, host, &stats);
+                        hop_send(
+                            &out_pmm,
+                            next,
+                            buf.filled(),
+                            RecvMode::Cheaper,
+                            host,
+                            &stats,
+                        );
                     }
                 }
                 time::advance(VDuration::from_micros_f64(GW_SEND_OVERHEAD_US));
@@ -314,11 +327,12 @@ fn receive_payload(
     out_pmm: &Arc<dyn Pmm>,
     neighbor: madsim_net::NodeId,
     hdr: &FragHeader,
+    pool: &BufPool,
     host: madeleine::config::HostModel,
     stats: &Arc<Stats>,
 ) -> GwPayload {
     if hdr.len == 0 {
-        return GwPayload::Dyn(Vec::new());
+        return GwPayload::Dyn(pool.checkout(0));
     }
     let out_id = out_pmm.select(hdr.len, SendMode::Cheaper, RecvMode::Cheaper);
     let out_tm = out_pmm.tm(out_id);
@@ -350,8 +364,16 @@ fn receive_payload(
         );
         GwPayload::InStatic(buf)
     } else {
-        let mut v = vec![0u8; hdr.len];
-        hop_recv(in_pmm, neighbor, &mut v, RecvMode::Cheaper, host, stats);
+        let mut v = pool.checkout(hdr.len);
+        hop_recv(
+            in_pmm,
+            neighbor,
+            &mut v.spare_mut()[..hdr.len],
+            RecvMode::Cheaper,
+            host,
+            stats,
+        );
+        v.advance(hdr.len);
         GwPayload::Dyn(v)
     }
 }

@@ -21,11 +21,11 @@
 
 use crate::route::Route;
 use crate::wire::{FragHeader, FRAG_HEADER_LEN};
-use bytes::Bytes;
 use madeleine::bmm::{RecvBmm, SendBmm, SendPolicy};
 use madeleine::config::HostModel;
 use madeleine::flags::{RecvMode, SendMode};
 use madeleine::pmm::Pmm;
+use madeleine::pool::{BufPool, PooledBuf};
 use madeleine::stats::Stats;
 use madeleine::tm::{TmCaps, TmId, TransmissionModule};
 use madsim_net::time;
@@ -45,13 +45,7 @@ pub(crate) fn hop_send(
     stats: &Arc<Stats>,
 ) {
     let id = pmm.select(data.len(), SendMode::Cheaper, rmode);
-    let mut bmm = SendBmm::new(
-        pmm.policy(id),
-        pmm.tm(id),
-        next,
-        host,
-        Arc::clone(stats),
-    );
+    let mut bmm = SendBmm::new(pmm.policy(id), pmm.tm(id), next, host, Arc::clone(stats));
     bmm.pack(data, SendMode::Cheaper);
     bmm.flush();
 }
@@ -66,13 +60,7 @@ pub(crate) fn hop_recv(
     stats: &Arc<Stats>,
 ) {
     let id = pmm.select(dst.len(), SendMode::Cheaper, rmode);
-    let mut bmm = RecvBmm::new(
-        pmm.policy(id),
-        pmm.tm(id),
-        from,
-        host,
-        Arc::clone(stats),
-    );
+    let mut bmm = RecvBmm::new(pmm.policy(id), pmm.tm(id), from, host, Arc::clone(stats));
     bmm.unpack_express_now(dst);
 }
 
@@ -114,8 +102,11 @@ pub struct GenericTm {
     hop_pmms: Vec<Option<Arc<dyn Pmm>>>,
     host: HostModel,
     stats: Arc<Stats>,
+    /// Staging memory for fragments that must be buffered (interleaved
+    /// sources, look-ahead ingestion): recycled slabs, not fresh `Vec`s.
+    pool: BufPool,
     /// Fragments already pulled off the wire, queued by originating node.
-    pending: Mutex<HashMap<NodeId, VecDeque<Bytes>>>,
+    pending: Mutex<HashMap<NodeId, VecDeque<PooledBuf>>>,
     /// Header of a fragment whose payload transfer was initiated early
     /// (`(neighbor, header)`): the protocol-level handshake has fired, the
     /// data is in flight while we do other work.
@@ -131,6 +122,7 @@ impl GenericTm {
         host: HostModel,
         stats: Arc<Stats>,
     ) -> Self {
+        let pool = BufPool::new(Arc::clone(&stats));
         GenericTm {
             route,
             me,
@@ -138,6 +130,7 @@ impl GenericTm {
             hop_pmms,
             host,
             stats,
+            pool,
             pending: Mutex::new(HashMap::new()),
             prefetched: Mutex::new(None),
         }
@@ -178,22 +171,23 @@ impl GenericTm {
             "end node {} received a fragment addressed to {} — broken route?",
             self.me, h.dst
         );
-        let mut payload = vec![0u8; h.len];
+        let mut payload = self.pool.checkout(h.len);
         if h.len > 0 {
             hop_recv(
                 pmm,
                 neighbor,
-                &mut payload,
+                &mut payload.spare_mut()[..h.len],
                 RecvMode::Cheaper,
                 self.host,
                 &self.stats,
             );
+            payload.advance(h.len);
         }
         self.pending
             .lock()
             .entry(h.src)
             .or_default()
-            .push_back(Bytes::from(payload));
+            .push_back(payload);
         // Look ahead: if another fragment is already announced, read its
         // header now and fire the payload TM's handshake so the transfer
         // (a background NIC operation) overlaps our caller's copy-out.
@@ -221,12 +215,7 @@ impl GenericTm {
     /// Some node with a queued or announced fragment, if any (never
     /// consumes wire data — peeks only the pending queue and the hop PMM).
     pub(crate) fn poll_announced(&self) -> Option<NodeId> {
-        if let Some((&src, _)) = self
-            .pending
-            .lock()
-            .iter()
-            .find(|(_, q)| !q.is_empty())
-        {
+        if let Some((&src, _)) = self.pending.lock().iter().find(|(_, q)| !q.is_empty()) {
             return Some(src);
         }
         if self.prefetched.lock().is_some() {
@@ -283,6 +272,14 @@ impl TransmissionModule for GenericTm {
                 self.send_buffer(dst, b);
             }
         }
+    }
+
+    fn send_gather(&self, dst: NodeId, bufs: &[&[u8]]) {
+        // No native scatter/gather on a virtual channel: the aggregated
+        // blocks fragment independently (still by slicing — copy-free),
+        // and `caps().gather` stays false so the flush is not counted as
+        // a hardware gather.
+        self.send_buffer_group(dst, bufs);
     }
 
     /// Reassemble `dst` from its fragments, receiving payloads **directly
@@ -348,22 +345,23 @@ impl TransmissionModule for GenericTm {
                 filled += h.len;
             } else {
                 // Interleaved flow from another source: buffer it.
-                let mut payload = vec![0u8; h.len];
+                let mut payload = self.pool.checkout(h.len);
                 if h.len > 0 {
                     hop_recv(
                         pmm,
                         neighbor,
-                        &mut payload,
+                        &mut payload.spare_mut()[..h.len],
                         RecvMode::Cheaper,
                         self.host,
                         &self.stats,
                     );
+                    payload.advance(h.len);
                 }
                 self.pending
                     .lock()
                     .entry(h.src)
                     .or_default()
-                    .push_back(Bytes::from(payload));
+                    .push_back(payload);
             }
         }
     }

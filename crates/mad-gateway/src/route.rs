@@ -27,11 +27,7 @@ impl Route {
         assert!(!hops.is_empty(), "a virtual channel needs at least one hop");
         let mut gateways = Vec::new();
         for w in hops.windows(2) {
-            let shared: Vec<NodeId> = w[0]
-                .iter()
-                .copied()
-                .filter(|n| w[1].contains(n))
-                .collect();
+            let shared: Vec<NodeId> = w[0].iter().copied().filter(|n| w[1].contains(n)).collect();
             assert_eq!(
                 shared.len(),
                 1,

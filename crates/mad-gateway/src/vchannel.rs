@@ -53,7 +53,9 @@ pub fn route_of(env: &NodeEnv, config: &Config, spec: &VirtualChannelSpec) -> Ro
                 .channels
                 .iter()
                 .find(|c| &c.name == hop_name)
-                .unwrap_or_else(|| panic!("virtual channel hop {hop_name:?} is not a configured channel"));
+                .unwrap_or_else(|| {
+                    panic!("virtual channel hop {hop_name:?} is not a configured channel")
+                });
             env.members_of(&cs.network)
                 .unwrap_or_else(|| panic!("unknown network {:?} for hop {hop_name:?}", cs.network))
         })
@@ -102,18 +104,8 @@ impl VirtualChannel {
             Arc::clone(&stats),
         ));
         let pmm: Arc<dyn Pmm> = Arc::new(GenericPmm::new(generic));
-        let chan = Channel::with_pmm(
-            spec.name.clone(),
-            pmm,
-            me,
-            route.all_members(),
-            host,
-            stats,
-        );
-        Some(VirtualChannel {
-            chan,
-            route,
-        })
+        let chan = Channel::with_pmm(spec.name.clone(), pmm, me, route.all_members(), host, stats);
+        Some(VirtualChannel { chan, route })
     }
 
     /// The underlying channel object (also available via `Deref`).

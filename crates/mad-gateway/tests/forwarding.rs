@@ -17,11 +17,8 @@ fn two_cluster_world() -> (madsim_net::World, Config) {
     b.network("sci0", NetKind::Sci, &[0, 1, 2]);
     b.network("myr0", NetKind::Myrinet, &[2, 3, 4]);
     let world = b.build();
-    let config = Config::one("sci", "sci0", Protocol::Sisci).with_channel(
-        "myr",
-        "myr0",
-        Protocol::Bip,
-    );
+    let config =
+        Config::one("sci", "sci0", Protocol::Sisci).with_channel("myr", "myr0", Protocol::Bip);
     (world, config)
 }
 
@@ -213,10 +210,34 @@ fn three_hop_chain_forwards() {
 fn gateway_copy_matrix() {
     // (in-protocol, in-net, out-protocol, out-net, expected copies/frag)
     let cases = [
-        (Protocol::Sisci, NetKind::Sci, Protocol::Bip, NetKind::Myrinet, 0u64),
-        (Protocol::Sisci, NetKind::Sci, Protocol::Sbp, NetKind::Ethernet, 0),
-        (Protocol::Sbp, NetKind::Ethernet, Protocol::Sisci, NetKind::Sci, 0),
-        (Protocol::Sbp, NetKind::Ethernet, Protocol::Via, NetKind::ViaSan, 1),
+        (
+            Protocol::Sisci,
+            NetKind::Sci,
+            Protocol::Bip,
+            NetKind::Myrinet,
+            0u64,
+        ),
+        (
+            Protocol::Sisci,
+            NetKind::Sci,
+            Protocol::Sbp,
+            NetKind::Ethernet,
+            0,
+        ),
+        (
+            Protocol::Sbp,
+            NetKind::Ethernet,
+            Protocol::Sisci,
+            NetKind::Sci,
+            0,
+        ),
+        (
+            Protocol::Sbp,
+            NetKind::Ethernet,
+            Protocol::Via,
+            NetKind::ViaSan,
+            1,
+        ),
     ];
     for (pin, kin, pout, kout, want_copies) in cases {
         let mut b = WorldBuilder::new(3);
@@ -258,11 +279,7 @@ fn gateway_copy_matrix() {
                 // header handling. Headers are 16-byte blocks; their copies
                 // (if the hop protocols are static) are counted too, so
                 // compare copied *payload bytes* instead of copy counts.
-                let copied: u64 = gw
-                    .stats()
-                    .iter()
-                    .map(|(_, s)| s.copied_bytes())
-                    .sum();
+                let copied: u64 = gw.stats().iter().map(|(_, s)| s.copied_bytes()).sum();
                 // Each message = 1 header fragment pair + payload of `mtu`
                 // bytes (the MAD2 channel header adds 16 bytes in the first
                 // fragment... payload fragments may thus be 2).
@@ -334,7 +351,10 @@ fn gateway_config_variants_forward_correctly() {
     );
     assert!(throttled > base * 3.0);
     // Deeper pipelines must not break anything or slow the flow massively.
-    assert!(deep < base * 1.5, "depth-4 regressed: {deep:.0} vs {base:.0}");
+    assert!(
+        deep < base * 1.5,
+        "depth-4 regressed: {deep:.0} vs {base:.0}"
+    );
 }
 
 #[test]

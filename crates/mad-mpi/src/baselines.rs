@@ -67,8 +67,6 @@ mod tests {
 
     #[test]
     fn scampi_beats_sci_mpich_for_bulk() {
-        assert!(
-            scampi_curve().bandwidth_at(1 << 20) > sci_mpich_curve().bandwidth_at(1 << 20)
-        );
+        assert!(scampi_curve().bandwidth_at(1 << 20) > sci_mpich_curve().bandwidth_at(1 << 20));
     }
 }

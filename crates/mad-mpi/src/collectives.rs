@@ -55,8 +55,8 @@ pub fn barrier(comm: &Comm, p2p: &P2p) {
 pub fn bcast(comm: &Comm, p2p: &P2p, root: usize, buf: &mut [u8]) {
     let size = comm.size();
     let me = (comm.rank() + size - root) % size; // virtual rank, root = 0
-    // Receive from the parent (the virtual rank with my lowest set bit
-    // cleared); the root falls through with mask = 2^ceil(log2 size).
+                                                 // Receive from the parent (the virtual rank with my lowest set bit
+                                                 // cleared); the root falls through with mask = 2^ceil(log2 size).
     let mut mask = 1usize;
     while mask < size {
         if me & mask != 0 {
@@ -78,13 +78,7 @@ pub fn bcast(comm: &Comm, p2p: &P2p, root: usize, buf: &mut [u8]) {
 }
 
 /// Element-wise reduction of `data` to `root`; returns the result there.
-pub fn reduce(
-    comm: &Comm,
-    p2p: &P2p,
-    root: usize,
-    op: ReduceOp,
-    data: &[f64],
-) -> Option<Vec<f64>> {
+pub fn reduce(comm: &Comm, p2p: &P2p, root: usize, op: ReduceOp, data: &[f64]) -> Option<Vec<f64>> {
     let bytes: Vec<u8> = data.iter().flat_map(|v| v.to_le_bytes()).collect();
     if comm.rank() == root {
         let mut acc = data.to_vec();
@@ -171,7 +165,6 @@ pub fn alltoall(comm: &Comm, p2p: &P2p, blocks: &[Vec<u8>]) -> Vec<Vec<u8>> {
     }
     out
 }
-
 
 /// Scatter `blocks[r]` (present at `root`) to every rank `r`; returns this
 /// rank's block.

@@ -117,11 +117,7 @@ impl Mpi {
             .map(|(r, _)| self.comm.node_of(r))
             .collect();
         Arc::new(Mpi {
-            comm: Comm::with_context(
-                Arc::clone(self.comm.channel_pub()),
-                Some(&members),
-                ctx,
-            ),
+            comm: Comm::with_context(Arc::clone(self.comm.channel_pub()), Some(&members), ctx),
             p2p: Arc::clone(&self.p2p),
         })
     }

@@ -238,26 +238,24 @@ fn test_polls_without_blocking() {
 
 #[test]
 fn waitall_completes_out_of_order_arrivals() {
-    with_mpi(3, Protocol::Sisci, |mpi| {
-        match mpi.rank() {
-            0 => {
-                std::thread::sleep(std::time::Duration::from_millis(10));
-                mpi.send(2, 10, &vec![1u8; 2000]);
-            }
-            1 => {
-                mpi.send(2, 11, &vec![2u8; 3000]);
-            }
-            _ => {
-                let mut a = vec![0u8; 2000];
-                let mut b = vec![0u8; 3000];
-                let ra = mpi.irecv(Some(0), Some(10), &mut a);
-                let rb = mpi.irecv(Some(1), Some(11), &mut b);
-                let sts = mpi.waitall(vec![ra, rb]);
-                assert_eq!(sts[0].len, 2000);
-                assert_eq!(sts[1].len, 3000);
-                assert!(a.iter().all(|&x| x == 1));
-                assert!(b.iter().all(|&x| x == 2));
-            }
+    with_mpi(3, Protocol::Sisci, |mpi| match mpi.rank() {
+        0 => {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            mpi.send(2, 10, &vec![1u8; 2000]);
+        }
+        1 => {
+            mpi.send(2, 11, &vec![2u8; 3000]);
+        }
+        _ => {
+            let mut a = vec![0u8; 2000];
+            let mut b = vec![0u8; 3000];
+            let ra = mpi.irecv(Some(0), Some(10), &mut a);
+            let rb = mpi.irecv(Some(1), Some(11), &mut b);
+            let sts = mpi.waitall(vec![ra, rb]);
+            assert_eq!(sts[0].len, 2000);
+            assert_eq!(sts[1].len, 3000);
+            assert!(a.iter().all(|&x| x == 1));
+            assert!(b.iter().all(|&x| x == 2));
         }
     });
 }
@@ -282,8 +280,8 @@ fn isend_requests_complete() {
 #[test]
 fn scatter_distributes_blocks() {
     with_mpi(4, Protocol::Sisci, |mpi| {
-        let blocks: Option<Vec<Vec<u8>>> = (mpi.rank() == 1)
-            .then(|| (0..4).map(|r| vec![r as u8; 100 + r * 10]).collect());
+        let blocks: Option<Vec<Vec<u8>>> =
+            (mpi.rank() == 1).then(|| (0..4).map(|r| vec![r as u8; 100 + r * 10]).collect());
         let mine = mpi.scatter(1, blocks.as_deref());
         assert_eq!(mine.len(), 100 + mpi.rank() * 10);
         assert!(mine.iter().all(|&b| b == mpi.rank() as u8));
@@ -407,7 +405,14 @@ fn nested_splits_work() {
         // Pairwise exchange within each half still works.
         let peer = 1 - half.rank();
         let mut buf = [0u8; 4];
-        half.sendrecv(peer, 1, &(mpi.rank() as u32).to_le_bytes(), Some(peer), Some(1), &mut buf);
+        half.sendrecv(
+            peer,
+            1,
+            &(mpi.rank() as u32).to_le_bytes(),
+            Some(peer),
+            Some(1),
+            &mut buf,
+        );
         let got = u32::from_le_bytes(buf) as usize;
         assert_eq!(got / 2, mpi.rank() / 2, "peer is in my half");
         assert_ne!(got, mpi.rank());

@@ -313,7 +313,10 @@ mod tests {
     #[test]
     fn put_get_roundtrip() {
         let mut b = PutBuffer::new();
-        b.put_u32(7).put_f64(2.5).put_str("nexus").put_bytes(&[1, 2, 3]);
+        b.put_u32(7)
+            .put_f64(2.5)
+            .put_str("nexus")
+            .put_bytes(&[1, 2, 3]);
         let mut g = GetBuffer::new(b.as_slice());
         assert_eq!(g.get_u32(), 7);
         assert_eq!(g.get_f64(), 2.5);

@@ -116,8 +116,14 @@ fn nexus_over_sci_is_much_faster_than_over_tcp() {
     let tcp = lat(Protocol::Tcp);
     // Fig. 7: Nexus/Mad/SISCI one-way latency below 25 us; TCP far behind.
     assert!(sci < 25.0, "Nexus/SISCI latency {sci:.1} us >= 25");
-    assert!(sci > 10.0, "Nexus overhead should dominate raw Madeleine ({sci:.1})");
-    assert!(tcp > 100.0, "Nexus/TCP latency {tcp:.1} us suspiciously low");
+    assert!(
+        sci > 10.0,
+        "Nexus overhead should dominate raw Madeleine ({sci:.1})"
+    );
+    assert!(
+        tcp > 100.0,
+        "Nexus/TCP latency {tcp:.1} us suspiciously low"
+    );
 }
 
 #[test]

@@ -185,11 +185,8 @@ fn lrpc_across_clusters() {
     b.network("sci0", NetKind::Sci, &[0, 1]);
     b.network("myr0", NetKind::Myrinet, &[1, 2]);
     let world = b.build();
-    let config = Config::one("sci", "sci0", Protocol::Sisci).with_channel(
-        "myr",
-        "myr0",
-        Protocol::Bip,
-    );
+    let config =
+        Config::one("sci", "sci0", Protocol::Sisci).with_channel("myr", "myr0", Protocol::Bip);
     world.run(move |env| {
         let mad = Madeleine::init(&env, &config);
         let spec = VirtualChannelSpec::new("vc", &["sci", "myr"], 8192);

@@ -20,6 +20,7 @@
 
 use crate::config::HostModel;
 use crate::flags::{RecvMode, SendMode};
+use crate::pool::{BufPool, PooledBuf};
 use crate::stats::Stats;
 use crate::tm::{StaticBuf, TmId, TransmissionModule};
 use bytes::Bytes;
@@ -38,6 +39,7 @@ pub enum SendPolicy {
 enum Block<'a> {
     Borrowed(&'a [u8]),
     Owned(Bytes),
+    Pooled(PooledBuf),
 }
 
 impl Block<'_> {
@@ -45,7 +47,14 @@ impl Block<'_> {
         match self {
             Block::Borrowed(b) => b,
             Block::Owned(b) => b,
+            Block::Pooled(b) => b.filled(),
         }
+    }
+
+    /// True when the TM will read straight from user memory (no
+    /// generic-layer copy happened to capture this block).
+    fn is_borrowed(&self) -> bool {
+        matches!(self, Block::Borrowed(_))
     }
 }
 
@@ -57,6 +66,9 @@ pub struct SendBmm<'a> {
     dst: NodeId,
     host: HostModel,
     stats: Arc<Stats>,
+    /// Pool serving SAFER defensive copies (and any other buffer the BMM
+    /// must own), so steady-state capture reuses warm slabs.
+    pool: BufPool,
     /// Blocks not yet handed to the TM (aggregation queue, or blocks stuck
     /// behind a `send_LATER` block).
     pending: Vec<Block<'a>>,
@@ -87,6 +99,21 @@ impl<'a> SendBmm<'a> {
         host: HostModel,
         stats: Arc<Stats>,
     ) -> Self {
+        let pool = BufPool::new(Arc::clone(&stats));
+        Self::with_pool(policy, tm, tm_id, dst, host, stats, pool)
+    }
+
+    /// [`with_tm_id`](Self::with_tm_id) sharing an existing buffer pool —
+    /// the channel-lifetime pool, so consecutive messages reuse slabs.
+    pub fn with_pool(
+        policy: SendPolicy,
+        tm: Arc<dyn TransmissionModule>,
+        tm_id: TmId,
+        dst: NodeId,
+        host: HostModel,
+        stats: Arc<Stats>,
+        pool: BufPool,
+    ) -> Self {
         SendBmm {
             policy,
             tm,
@@ -94,6 +121,7 @@ impl<'a> SendBmm<'a> {
             dst,
             host,
             stats,
+            pool,
             pending: Vec::new(),
             pending_has_later: false,
             staged: None,
@@ -120,18 +148,29 @@ impl<'a> SendBmm<'a> {
                 if capture_by_processing {
                     self.pack_now(Block::Borrowed(data));
                 } else {
-                    let owned = Bytes::copy_from_slice(data);
+                    let owned = self.pool.checkout_from(data);
                     self.charge_copy(data.len());
-                    self.pack_now(Block::Owned(owned));
+                    self.pack_now(Block::Pooled(owned));
                 }
             }
             SendMode::Cheaper => self.pack_now(Block::Borrowed(data)),
         }
     }
 
-    /// Queue a library-owned block (e.g. the internal message header).
+    /// Queue a library-owned block (e.g. a block that arrived as `Bytes`).
     pub fn pack_owned(&mut self, data: Bytes) {
         self.pack_now(Block::Owned(data));
+    }
+
+    /// Queue a library-owned pooled block (e.g. the internal message
+    /// header, built directly in pool memory — no intermediate allocation).
+    pub fn pack_pooled(&mut self, data: PooledBuf) {
+        self.pack_now(Block::Pooled(data));
+    }
+
+    /// The pool this BMM captures into.
+    pub fn pool(&self) -> &BufPool {
+        &self.pool
     }
 
     /// `send_SAFER` capture through a short-lived borrow: the data never
@@ -144,6 +183,7 @@ impl<'a> SendBmm<'a> {
         if capture_by_processing {
             match self.policy {
                 SendPolicy::Eager => {
+                    self.stats.record_borrowed(data.len());
                     self.tm.send_buffer(self.dst, data);
                     self.stats.record_buffer_sent();
                     self.stats.record_tm_traffic(self.tm_id, data.len());
@@ -152,9 +192,9 @@ impl<'a> SendBmm<'a> {
                 SendPolicy::Aggregate => unreachable!(),
             }
         } else {
-            let owned = Bytes::copy_from_slice(data);
+            let owned = self.pool.checkout_from(data);
             self.charge_copy(data.len());
-            self.pack_now(Block::Owned(owned));
+            self.pack_now(Block::Pooled(owned));
         }
     }
 
@@ -166,9 +206,13 @@ impl<'a> SendBmm<'a> {
         }
         match self.policy {
             SendPolicy::Eager => {
+                if block.is_borrowed() {
+                    self.stats.record_borrowed(block.as_slice().len());
+                }
                 self.tm.send_buffer(self.dst, block.as_slice());
                 self.stats.record_buffer_sent();
-                self.stats.record_tm_traffic(self.tm_id, block.as_slice().len());
+                self.stats
+                    .record_tm_traffic(self.tm_id, block.as_slice().len());
             }
             SendPolicy::Aggregate => self.pending.push(block),
             SendPolicy::StaticCopy => self.stage(block.as_slice()),
@@ -205,15 +249,28 @@ impl<'a> SendBmm<'a> {
             match self.policy {
                 SendPolicy::Eager => {
                     for b in &pending {
+                        if b.is_borrowed() {
+                            self.stats.record_borrowed(b.as_slice().len());
+                        }
                         self.tm.send_buffer(self.dst, b.as_slice());
                         self.stats.record_buffer_sent();
                         self.stats.record_tm_traffic(self.tm_id, b.as_slice().len());
                     }
                 }
                 SendPolicy::Aggregate => {
+                    // Scatter/gather flush: the TM reads each block from
+                    // where it lies — no coalescing memcpy on this layer.
                     let slices: Vec<&[u8]> = pending.iter().map(|b| b.as_slice()).collect();
                     let total: usize = slices.iter().map(|s| s.len()).sum();
-                    self.tm.send_buffer_group(self.dst, &slices);
+                    for b in &pending {
+                        if b.is_borrowed() {
+                            self.stats.record_borrowed(b.as_slice().len());
+                        }
+                    }
+                    self.tm.send_gather(self.dst, &slices);
+                    if self.tm.caps().gather {
+                        self.stats.record_gather();
+                    }
                     self.stats.record_buffer_sent();
                     self.stats.record_tm_traffic(self.tm_id, total);
                 }
@@ -301,13 +358,18 @@ impl<'a> RecvBmm<'a> {
             SendPolicy::StaticCopy => self.extract(dst),
             SendPolicy::Eager => {
                 for d in self.deferred.drain(..) {
+                    self.stats.record_borrowed(d.len());
                     self.tm.receive_buffer(self.src, d);
                 }
+                self.stats.record_borrowed(dst.len());
                 self.tm.receive_buffer(self.src, dst);
             }
             SendPolicy::Aggregate => {
                 let mut group: Vec<&mut [u8]> = self.deferred.drain(..).collect();
                 group.push(dst);
+                for d in &group {
+                    self.stats.record_borrowed(d.len());
+                }
                 self.tm.receive_sub_buffer_group(self.src, &mut group);
             }
         }
@@ -341,12 +403,16 @@ impl<'a> RecvBmm<'a> {
         match self.policy {
             SendPolicy::Eager => {
                 for d in self.deferred.drain(..) {
+                    self.stats.record_borrowed(d.len());
                     self.tm.receive_buffer(self.src, d);
                 }
             }
             SendPolicy::Aggregate => {
                 if !self.deferred.is_empty() {
                     let mut group: Vec<&mut [u8]> = self.deferred.drain(..).collect();
+                    for d in &group {
+                        self.stats.record_borrowed(d.len());
+                    }
                     self.tm.receive_sub_buffer_group(self.src, &mut group);
                 }
             }

@@ -31,10 +31,10 @@ use crate::bmm::{RecvBmm, SendBmm};
 use crate::config::HostModel;
 use crate::flags::{RecvMode, SendMode};
 use crate::pmm::Pmm;
-use crate::stats::Stats;
+use crate::pool::{BufPool, PooledBuf};
+use crate::stats::{Stats, StatsSnapshot};
 use crate::tm::TmId;
 use crate::trace::{TraceEvent, Tracer};
-use bytes::Bytes;
 use madsim_net::time::{self, VDuration};
 use madsim_net::NodeId;
 use parking_lot::Mutex;
@@ -56,6 +56,10 @@ pub struct Channel {
     peers: Vec<NodeId>,
     stats: Arc<Stats>,
     host: HostModel,
+    /// Channel-lifetime buffer pool: headers, SAFER captures, and (via the
+    /// session's driver wiring) protocol static buffers all draw from here,
+    /// so steady-state traffic reuses warm slabs across messages.
+    pool: BufPool,
     /// Next message sequence number per destination.
     send_seq: Mutex<HashMap<NodeId, u32>>,
     /// Expected next sequence number per source.
@@ -81,6 +85,35 @@ impl Channel {
         Self::with_pmm(name, pmm, me, peers, host, stats)
     }
 
+    /// [`new`](Self::new) sharing an existing buffer pool (the session
+    /// creates one pool per channel and wires the same pool into the
+    /// protocol drivers, so static-buffer traffic and generic-layer
+    /// captures recycle the same slabs).
+    pub(crate) fn with_shared_pool(
+        name: String,
+        pmm: Arc<dyn Pmm>,
+        me: NodeId,
+        peers: Vec<NodeId>,
+        host: HostModel,
+        stats: Arc<Stats>,
+        pool: BufPool,
+    ) -> Arc<Self> {
+        Arc::new(Channel {
+            name,
+            pmm,
+            me,
+            peers,
+            stats,
+            host,
+            pool,
+            send_seq: Mutex::new(HashMap::new()),
+            recv_seq: Mutex::new(HashMap::new()),
+            open_tx: AtomicUsize::new(0),
+            open_rx: AtomicUsize::new(0),
+            tracer: Tracer::new(),
+        })
+    }
+
     /// Extension constructor: build a channel over a custom protocol
     /// module. This is how the inter-cluster extension (`mad-gateway`)
     /// plugs its Generic Transmission Module under the unchanged generic
@@ -94,19 +127,8 @@ impl Channel {
         host: HostModel,
         stats: Arc<Stats>,
     ) -> Arc<Self> {
-        Arc::new(Channel {
-            name,
-            pmm,
-            me,
-            peers,
-            stats,
-            host,
-            send_seq: Mutex::new(HashMap::new()),
-            recv_seq: Mutex::new(HashMap::new()),
-            open_tx: AtomicUsize::new(0),
-            open_rx: AtomicUsize::new(0),
-            tracer: Tracer::new(),
-        })
+        let pool = BufPool::new(Arc::clone(&stats));
+        Self::with_shared_pool(name, pmm, me, peers, host, stats, pool)
     }
 
     pub fn name(&self) -> &str {
@@ -126,6 +148,11 @@ impl Channel {
     /// Copy/traffic counters of this channel.
     pub fn stats(&self) -> &Arc<Stats> {
         &self.stats
+    }
+
+    /// The channel-lifetime buffer pool.
+    pub fn pool(&self) -> &BufPool {
+        &self.pool
     }
 
     /// The protocol module driving this channel (exposed for extensions
@@ -159,7 +186,11 @@ impl Channel {
             "node {dst} is not a member of channel {:?}",
             self.name
         );
-        assert_ne!(dst, self.me, "cannot send to self on channel {:?}", self.name);
+        assert_ne!(
+            dst, self.me,
+            "cannot send to self on channel {:?}",
+            self.name
+        );
         assert_eq!(
             self.open_tx.fetch_add(1, Ordering::AcqRel),
             0,
@@ -176,18 +207,33 @@ impl Channel {
             cur
         };
         self.tracer.record(TraceEvent::BeginPacking { dst });
+        let stats_at_begin = if self.tracer.is_enabled() {
+            Some(self.stats.snapshot())
+        } else {
+            None
+        };
         let mut msg = OutgoingMessage {
             chan: self,
             dst,
             cur_tm: None,
             bmm: None,
             done: false,
+            stats_at_begin,
         };
-        let mut header = [0u8; HEADER_LEN];
-        header[0..4].copy_from_slice(&HEADER_MAGIC.to_le_bytes());
-        header[4..8].copy_from_slice(&(self.me as u32).to_le_bytes());
-        header[8..12].copy_from_slice(&seq.to_le_bytes());
-        msg.pack_internal(Bytes::copy_from_slice(&header));
+        // The header is built directly in pooled memory: no stack staging
+        // array, no per-message allocation — a warm 64-byte slab per send.
+        let mut header = self.pool.checkout(HEADER_LEN);
+        {
+            let h = header.spare_mut();
+            h[0..4].copy_from_slice(&HEADER_MAGIC.to_le_bytes());
+            h[4..8].copy_from_slice(&(self.me as u32).to_le_bytes());
+            h[8..12].copy_from_slice(&seq.to_le_bytes());
+            // Reserved tail: recycled slabs carry stale bytes, and the
+            // whole header goes on the wire.
+            h[12..HEADER_LEN].fill(0);
+        }
+        header.advance(HEADER_LEN);
+        msg.pack_internal(header);
         msg
     }
 
@@ -273,6 +319,9 @@ pub struct OutgoingMessage<'c, 'a> {
     cur_tm: Option<TmId>,
     bmm: Option<SendBmm<'a>>,
     done: bool,
+    /// Counter snapshot at `begin_packing` when tracing is enabled, so
+    /// `end_packing` can record this message's copy-accounting delta.
+    stats_at_begin: Option<StatsSnapshot>,
 }
 
 impl<'c, 'a> OutgoingMessage<'c, 'a> {
@@ -319,14 +368,14 @@ impl<'c, 'a> OutgoingMessage<'c, 'a> {
     }
 
     /// Pack a library-internal block (always `(CHEAPER, EXPRESS)`).
-    fn pack_internal(&mut self, data: Bytes) {
+    fn pack_internal(&mut self, data: PooledBuf) {
         self.switch_to(
             self.chan
                 .pmm
                 .select(data.len(), SendMode::Cheaper, RecvMode::Express),
         );
         let bmm = self.bmm.as_mut().expect("switched");
-        bmm.pack_owned(data);
+        bmm.pack_pooled(data);
         bmm.flush();
     }
 
@@ -344,13 +393,14 @@ impl<'c, 'a> OutgoingMessage<'c, 'a> {
             });
         }
         self.cur_tm = Some(tm);
-        self.bmm = Some(SendBmm::with_tm_id(
+        self.bmm = Some(SendBmm::with_pool(
             self.chan.pmm.policy(tm),
             self.chan.pmm.tm(tm),
             tm,
             self.dst,
             self.chan.host,
             Arc::clone(&self.chan.stats),
+            self.chan.pool.clone(),
         ));
     }
 
@@ -362,6 +412,15 @@ impl<'c, 'a> OutgoingMessage<'c, 'a> {
         }
         time::advance(VDuration::from_micros_f64(self.chan.host.end_op_us));
         self.chan.tracer.record(TraceEvent::EndPacking);
+        if let Some(at_begin) = self.stats_at_begin.take() {
+            let d = self.chan.stats.snapshot().since(&at_begin);
+            self.chan.tracer.record(TraceEvent::MessageStats {
+                copied_bytes: d.copied_bytes,
+                borrowed_bytes: d.borrowed_bytes,
+                pool_hits: d.pool_hits,
+                pool_misses: d.pool_misses,
+            });
+        }
         self.chan.stats.record_message();
         self.chan.open_tx.fetch_sub(1, Ordering::AcqRel);
         self.done = true;
@@ -419,10 +478,7 @@ impl<'c, 'a> IncomingMessage<'c, 'a> {
             rmode: RecvMode::Express,
             tm,
         });
-        self.bmm
-            .as_mut()
-            .expect("switched")
-            .unpack_express_now(dst);
+        self.bmm.as_mut().expect("switched").unpack_express_now(dst);
     }
 
     /// Unpack a library-internal block (mirror of `pack_internal`).
@@ -432,10 +488,7 @@ impl<'c, 'a> IncomingMessage<'c, 'a> {
                 .pmm
                 .select(dst.len(), SendMode::Cheaper, RecvMode::Express),
         );
-        self.bmm
-            .as_mut()
-            .expect("switched")
-            .unpack_express_now(dst);
+        self.bmm.as_mut().expect("switched").unpack_express_now(dst);
     }
 
     fn switch_to(&mut self, tm: TmId) {

@@ -113,10 +113,8 @@ pub struct StackTimings {
 }
 
 /// Wrapper so `Config::default()` works without spelling out the model.
-#[derive(Clone, Copy, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct HostModelOpt(pub HostModel);
-
 
 /// Wrapper so `Config::default()` works without spelling out the policy.
 #[derive(Clone, Copy, Debug, Default)]
@@ -132,7 +130,8 @@ impl Config {
     }
 
     pub fn with_channel(mut self, name: &str, network: &str, protocol: Protocol) -> Self {
-        self.channels.push(ChannelSpec::new(name, network, protocol));
+        self.channels
+            .push(ChannelSpec::new(name, network, protocol));
         self
     }
 
@@ -168,11 +167,8 @@ mod tests {
 
     #[test]
     fn builder_accumulates_channels() {
-        let c = Config::one("sci", "sci0", Protocol::Sisci).with_channel(
-            "myr",
-            "myr0",
-            Protocol::Bip,
-        );
+        let c =
+            Config::one("sci", "sci0", Protocol::Sisci).with_channel("myr", "myr0", Protocol::Bip);
         assert_eq!(c.channels.len(), 2);
         assert_eq!(c.channels[0].protocol, Protocol::Sisci);
         assert_eq!(c.channels[1].network, "myr0");

@@ -16,6 +16,7 @@ use crate::config::HostModel;
 use crate::flags::{RecvMode, SendMode};
 use crate::pmm::Pmm;
 use crate::polling::PollPolicy;
+use crate::pool::BufPool;
 use crate::stats::Stats;
 use crate::tm::{StaticBuf, TmCaps, TmId, TransmissionModule};
 use madsim_net::stacks::bip::{Bip, BIP_SHORT_MAX, BIP_SHORT_RING};
@@ -46,6 +47,7 @@ pub fn build(
     stats: Arc<Stats>,
     poll: PollPolicy,
     timing: Option<madsim_net::stacks::bip::BipTiming>,
+    pool: BufPool,
 ) -> Arc<dyn Pmm> {
     let bip = match timing {
         Some(t) => Bip::with_timing(adapter, t),
@@ -58,6 +60,7 @@ pub fn build(
         flow: Mutex::new(HashMap::new()),
         host,
         stats,
+        pool,
     });
     let long: Arc<dyn TransmissionModule> = Arc::new(BipLongTm {
         bip: bip.clone(),
@@ -138,6 +141,7 @@ struct BipShortTm {
     flow: Mutex<HashMap<NodeId, FlowState>>,
     host: HostModel,
     stats: Arc<Stats>,
+    pool: BufPool,
 }
 
 impl BipShortTm {
@@ -181,11 +185,8 @@ impl BipShortTm {
             }
         };
         if send_back {
-            self.bip.send_short(
-                peer,
-                self.credit_tag,
-                &(CREDIT_BATCH as u32).to_le_bytes(),
-            );
+            self.bip
+                .send_short(peer, self.credit_tag, &(CREDIT_BATCH as u32).to_le_bytes());
         }
     }
 }
@@ -212,7 +213,7 @@ impl TransmissionModule for BipShortTm {
         buf.spare_mut()[..n].copy_from_slice(data);
         buf.advance(n);
         madsim_net::time::advance(self.host.memcpy(n));
-        self.stats.record_copy(n);
+        self.stats.record_tm_copy(n);
         self.send_static_buffer(dst, buf);
     }
 
@@ -230,7 +231,7 @@ impl TransmissionModule for BipShortTm {
         );
         dst.copy_from_slice(buf.filled());
         madsim_net::time::advance(self.host.memcpy(dst.len()));
-        self.stats.record_copy(dst.len());
+        self.stats.record_tm_copy(dst.len());
     }
 
     fn receive_static_buffer(&self, src: NodeId) -> StaticBuf {
@@ -240,7 +241,8 @@ impl TransmissionModule for BipShortTm {
     }
 
     fn obtain_static_buffer(&self) -> StaticBuf {
-        StaticBuf::owned(BIP_SHORT_MAX, 0)
+        // Pool-backed: obtain/release cycles recycle warm slabs.
+        StaticBuf::pooled(self.pool.checkout(BIP_SHORT_MAX), 0)
     }
 }
 

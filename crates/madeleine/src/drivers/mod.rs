@@ -10,6 +10,7 @@ pub mod via;
 
 use crate::config::{Config, HostModel, Protocol};
 use crate::pmm::Pmm;
+use crate::pool::BufPool;
 use crate::stats::Stats;
 use madsim_net::world::{Adapter, NetKind};
 use std::sync::Arc;
@@ -17,6 +18,10 @@ use std::sync::Arc;
 /// Instantiate the PMM for one channel. Collective: every member of the
 /// channel's network must call this concurrently (drivers exchange
 /// segments / connections / preposted descriptors during construction).
+///
+/// `pool` is the channel's buffer pool: static-buffer protocols (BIP
+/// short, VIA, SBP) draw their send-side buffers from it so obtain/release
+/// cycles recycle warm slabs instead of allocating.
 pub fn build_pmm(
     protocol: Protocol,
     adapter: &Adapter,
@@ -24,6 +29,7 @@ pub fn build_pmm(
     cfg: &Config,
     host: HostModel,
     stats: Arc<Stats>,
+    pool: BufPool,
 ) -> Arc<dyn Pmm> {
     let poll = cfg.poll.0;
     match protocol {
@@ -33,19 +39,33 @@ pub fn build_pmm(
         }
         Protocol::Bip => {
             assert_eq!(adapter.kind(), NetKind::Myrinet, "BIP needs Myrinet");
-            bip::build(adapter, channel_id, host, stats, poll, cfg.timings.bip)
+            bip::build(
+                adapter,
+                channel_id,
+                host,
+                stats,
+                poll,
+                cfg.timings.bip,
+                pool,
+            )
         }
         Protocol::Sisci => {
             assert_eq!(adapter.kind(), NetKind::Sci, "SISCI needs SCI");
-            sisci::build(adapter, channel_id, cfg.enable_sci_dma, poll, cfg.timings.sisci)
+            sisci::build(
+                adapter,
+                channel_id,
+                cfg.enable_sci_dma,
+                poll,
+                cfg.timings.sisci,
+            )
         }
         Protocol::Via => {
             assert_eq!(adapter.kind(), NetKind::ViaSan, "VIA needs a SAN");
-            via::build(adapter, channel_id, poll, cfg.timings.via)
+            via::build(adapter, channel_id, poll, cfg.timings.via, pool)
         }
         Protocol::Sbp => {
             assert_eq!(adapter.kind(), NetKind::Ethernet, "SBP needs Ethernet");
-            sbp::build(adapter, channel_id, poll, cfg.timings.sbp)
+            sbp::build(adapter, channel_id, poll, cfg.timings.sbp, pool)
         }
     }
 }

@@ -11,6 +11,7 @@ use crate::bmm::SendPolicy;
 use crate::flags::{RecvMode, SendMode};
 use crate::pmm::Pmm;
 use crate::polling::PollPolicy;
+use crate::pool::BufPool;
 use crate::tm::{StaticBuf, TmCaps, TmId, TransmissionModule};
 use madsim_net::stacks::sbp::{Sbp, SBP_BUFFER_SIZE};
 use madsim_net::world::Adapter;
@@ -27,6 +28,7 @@ pub fn build(
     channel_id: u32,
     poll: PollPolicy,
     timing: Option<madsim_net::stacks::sbp::SbpTiming>,
+    pool: BufPool,
 ) -> Arc<dyn Pmm> {
     let sbp = match timing {
         Some(t) => Sbp::with_timing(adapter, t),
@@ -35,6 +37,7 @@ pub fn build(
     let tm: Arc<dyn TransmissionModule> = Arc::new(SbpTm {
         sbp: sbp.clone(),
         tag: tag(channel_id),
+        pool,
     });
     Arc::new(SbpPmm {
         sbp,
@@ -80,6 +83,7 @@ impl Pmm for SbpPmm {
 struct SbpTm {
     sbp: Sbp,
     tag: u64,
+    pool: BufPool,
 }
 
 impl TransmissionModule for SbpTm {
@@ -124,9 +128,9 @@ impl TransmissionModule for SbpTm {
 
     fn obtain_static_buffer(&self) -> StaticBuf {
         // Reserve a kernel pool slot now (may block on exhaustion); the
-        // boxed memory stands in for the kernel buffer itself.
+        // pooled memory stands in for the kernel buffer itself.
         self.sbp.reserve_tx_slot();
-        StaticBuf::owned(SBP_BUFFER_SIZE, 0)
+        StaticBuf::pooled(self.pool.checkout(SBP_BUFFER_SIZE), 0)
     }
 
     fn release_static_buffer(&self, buf: StaticBuf) {

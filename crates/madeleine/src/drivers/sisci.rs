@@ -438,6 +438,13 @@ impl TransmissionModule for SisciStreamTm {
         self.link(dst).send_group(self.geom, bufs);
     }
 
+    fn send_gather(&self, dst: NodeId, bufs: &[&[u8]]) {
+        // Native gather: blocks stream back-to-back into the PIO ring.
+        // `send_group`'s chunk staging models the CPU's write-combining
+        // buffer, not a generic-layer copy.
+        self.send_buffer_group(dst, bufs);
+    }
+
     fn receive_buffer(&self, src: NodeId, dst: &mut [u8]) {
         self.link(src).read_stream(self.geom, dst);
     }

@@ -128,11 +128,18 @@ impl TransmissionModule for TcpTm {
         self.with_conn(dst, |c| c.send_vectored(bufs));
     }
 
+    fn send_gather(&self, dst: NodeId, bufs: &[&[u8]]) {
+        // Native gather: the blocks go to the kernel in one writev-style
+        // call, straight from where they lie — no coalescing staging copy.
+        self.send_buffer_group(dst, bufs);
+    }
+
     fn receive_buffer(&self, src: NodeId, dst: &mut [u8]) {
         self.with_conn(src, |c| c.recv_exact(dst));
-        // Socket buffer → user memory copy.
+        // Socket buffer → user memory copy: a cost of the protocol itself,
+        // not of the generic layer (no emission flag could avoid it).
         time::advance(self.host.memcpy(dst.len()));
-        self.stats.record_copy(dst.len());
+        self.stats.record_tm_copy(dst.len());
     }
 
     fn receive_sub_buffer_group(&self, src: NodeId, dsts: &mut [&mut [u8]]) {
@@ -145,7 +152,7 @@ impl TransmissionModule for TcpTm {
         });
         if total > 0 {
             time::advance(self.host.memcpy(total));
-            self.stats.record_copy(total);
+            self.stats.record_tm_copy(total);
         }
     }
 }

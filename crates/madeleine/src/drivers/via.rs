@@ -15,8 +15,9 @@ use crate::bmm::SendPolicy;
 use crate::flags::{RecvMode, SendMode};
 use crate::pmm::Pmm;
 use crate::polling::PollPolicy;
+use crate::pool::BufPool;
 use crate::tm::{StaticBuf, TmCaps, TmId, TransmissionModule};
-use madsim_net::stacks::via::{Via, Vi};
+use madsim_net::stacks::via::{Vi, Via};
 use madsim_net::world::Adapter;
 use madsim_net::NodeId;
 use parking_lot::Mutex;
@@ -54,6 +55,7 @@ pub fn build(
     channel_id: u32,
     poll: PollPolicy,
     timing: Option<madsim_net::stacks::via::ViaTiming>,
+    pool: BufPool,
 ) -> Arc<dyn Pmm> {
     let via = match timing {
         Some(t) => Via::with_timing(adapter, t),
@@ -86,6 +88,7 @@ pub fn build(
     let vis = Arc::new(vis);
     let tm: Arc<dyn TransmissionModule> = Arc::new(ViaTm {
         vis: Arc::clone(&vis),
+        pool,
     });
     Arc::new(ViaPmm {
         vis,
@@ -131,6 +134,7 @@ impl Pmm for ViaPmm {
 
 struct ViaTm {
     vis: Arc<HashMap<NodeId, Mutex<PeerVis>>>,
+    pool: BufPool,
 }
 
 impl ViaTm {
@@ -204,6 +208,8 @@ impl TransmissionModule for ViaTm {
     }
 
     fn obtain_static_buffer(&self) -> StaticBuf {
-        StaticBuf::owned(VIA_BUF, 0)
+        // Pool-backed registered buffer: VIA registration is expensive on
+        // real hardware, which is exactly why reuse matters.
+        StaticBuf::pooled(self.pool.checkout(VIA_BUF), 0)
     }
 }

@@ -8,8 +8,7 @@
 use std::fmt;
 
 /// Emission flags: how the library may access the packed data.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum SendMode {
     /// `send_SAFER`: the library must capture the data at pack time, so the
     /// caller may reuse the memory immediately (it is copied).
@@ -28,10 +27,8 @@ pub enum SendMode {
     Cheaper,
 }
 
-
 /// Reception flags: when the unpacked data must be available.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum RecvMode {
     /// `receive_EXPRESS`: the data is guaranteed available as soon as the
     /// `unpack` call returns — mandatory when the value steers the
@@ -43,7 +40,6 @@ pub enum RecvMode {
     #[default]
     Cheaper,
 }
-
 
 impl fmt::Display for SendMode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -52,6 +52,8 @@
 //! * [`tm`] — the Transmission Module interface (Table 2);
 //! * [`pmm`] — the protocol-module interface (driver virtualization);
 //! * [`drivers`] — BIP, SISCI, TCP, VIA, and SBP protocol modules;
+//! * [`pool`] — reusable pooled buffer segments backing the zero-copy
+//!   send path (headers, SAFER copies, static-buffer packing);
 //! * [`stats`] — copy accounting backing the zero-copy claims;
 //! * [`config`], [`session`] — session setup.
 
@@ -62,15 +64,17 @@ pub mod drivers;
 pub mod flags;
 pub mod pmm;
 pub mod polling;
+pub mod pool;
 pub mod session;
 pub mod stats;
+pub mod tm;
 pub mod trace;
 pub mod typed;
-pub mod tm;
 
 pub use channel::{Channel, IncomingMessage, OutgoingMessage, HEADER_LEN};
 pub use config::{ChannelSpec, Config, HostModel, Protocol};
 pub use flags::{RecvMode, SendMode};
 pub use polling::PollPolicy;
+pub use pool::{BufPool, PooledBuf};
 pub use session::Madeleine;
 pub use stats::{Stats, StatsSnapshot};

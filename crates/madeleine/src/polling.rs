@@ -29,8 +29,7 @@ use std::cell::Cell;
 use std::time::Duration;
 
 /// How a channel waits for incoming traffic.
-#[derive(Clone, Copy, Debug, PartialEq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub enum PollPolicy {
     /// Busy-poll until traffic shows up. Lowest latency, one CPU burned.
     #[default]
@@ -50,7 +49,6 @@ pub enum PollPolicy {
         interrupt_latency_us: f64,
     },
 }
-
 
 impl PollPolicy {
     /// A typical interrupt-driven configuration (10 µs wakeup).
@@ -172,9 +170,8 @@ mod tests {
             f2.store(true, Ordering::Release);
         });
         let ((), t) = with_clock(|| {
-            PollPolicy::Interrupt { latency_us: 12.5 }.wait(|| {
-                flag.load(Ordering::Acquire).then_some(())
-            });
+            PollPolicy::Interrupt { latency_us: 12.5 }
+                .wait(|| flag.load(Ordering::Acquire).then_some(()));
         });
         setter.join().unwrap();
         assert_eq!(t, 12.5);

@@ -3,6 +3,7 @@
 use crate::channel::Channel;
 use crate::config::Config;
 use crate::drivers;
+use crate::pool::BufPool;
 use crate::stats::Stats;
 use madsim_net::world::NodeEnv;
 use madsim_net::NodeId;
@@ -43,6 +44,11 @@ impl Madeleine {
                 continue;
             };
             let stats = Stats::new();
+            // One pool per channel, shared between the generic layer
+            // (headers, SAFER captures) and the protocol driver (static
+            // buffers), so all of the channel's traffic recycles one set
+            // of warm slabs.
+            let pool = BufPool::new(Arc::clone(&stats));
             let pmm = drivers::build_pmm(
                 spec.protocol,
                 adapter,
@@ -50,14 +56,16 @@ impl Madeleine {
                 config,
                 config.host.0,
                 Arc::clone(&stats),
+                pool.clone(),
             );
-            let channel = Channel::new(
+            let channel = Channel::with_shared_pool(
                 spec.name.clone(),
                 pmm,
                 me,
                 adapter.peers().to_vec(),
                 config.host.0,
                 stats,
+                pool,
             );
             channels.insert(spec.name.clone(), channel);
         }

@@ -15,12 +15,31 @@ use std::sync::Arc;
 /// Shared counters for one channel (or one gateway pipeline).
 #[derive(Debug, Default)]
 pub struct Stats {
-    /// Software copies performed by the generic layer (BMM copies into or
-    /// out of static buffers, kernel-style copies in the TCP TM). Wire
-    /// transfers and NIC DMA are *not* copies.
+    /// Software copies performed by the *generic layer* (BMM copies into or
+    /// out of static buffers, SAFER defensive copies). Wire transfers and
+    /// NIC DMA are *not* copies, and neither are copies a protocol's own
+    /// machinery performs below the TM interface — those land in
+    /// `tm_copies`/`tm_copied_bytes`.
     copies: AtomicU64,
     /// Total bytes moved by those copies.
     copied_bytes: AtomicU64,
+    /// Copies performed *inside* transmission modules by protocol machinery
+    /// the generic layer cannot avoid (TCP's kernel-style socket copies, a
+    /// static-buffer protocol unpacking an arriving frame). Kept separate so
+    /// "CHEAPER ⇒ zero generic-layer copies" is assertable exactly.
+    tm_copies: AtomicU64,
+    tm_copied_bytes: AtomicU64,
+    /// Bytes handed to TMs *by reference* (CHEAPER/LATER blocks that
+    /// traveled without a generic-layer copy). `borrowed_bytes /
+    /// (borrowed_bytes + copied_bytes)` is the copy-avoidance ratio.
+    borrowed_bytes: AtomicU64,
+    /// Buffer-pool checkouts served from a free list (warm slab reused).
+    pool_hits: AtomicU64,
+    /// Buffer-pool checkouts that had to allocate.
+    pool_misses: AtomicU64,
+    /// Scatter/gather flushes: buffer groups handed to a TM in one
+    /// `send_gather` call instead of being coalesced with a memcpy.
+    gathers: AtomicU64,
     /// Buffers handed to transmission modules.
     buffers_sent: AtomicU64,
     /// BMM flushes (commit operations).
@@ -40,6 +59,35 @@ impl Stats {
     pub fn record_copy(&self, bytes: usize) {
         self.copies.fetch_add(1, Ordering::Relaxed);
         self.copied_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Account a copy performed below the TM interface by protocol
+    /// machinery (socket copy, static-frame unpack). Not a generic-layer
+    /// copy: the emission flags could not have avoided it.
+    pub fn record_tm_copy(&self, bytes: usize) {
+        self.tm_copies.fetch_add(1, Ordering::Relaxed);
+        self.tm_copied_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Account `bytes` handed to a TM by reference (no generic-layer copy).
+    pub fn record_borrowed(&self, bytes: usize) {
+        self.borrowed_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub fn record_pool_hit(&self) {
+        self.pool_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_pool_miss(&self) {
+        self.pool_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Account one scatter/gather flush (a buffer group sent without a
+    /// coalescing memcpy).
+    pub fn record_gather(&self) {
+        self.gathers.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn record_buffer_sent(&self) {
@@ -87,6 +135,42 @@ impl Stats {
         self.copied_bytes.load(Ordering::Relaxed)
     }
 
+    pub fn tm_copies(&self) -> u64 {
+        self.tm_copies.load(Ordering::Relaxed)
+    }
+
+    pub fn tm_copied_bytes(&self) -> u64 {
+        self.tm_copied_bytes.load(Ordering::Relaxed)
+    }
+
+    pub fn borrowed_bytes(&self) -> u64 {
+        self.borrowed_bytes.load(Ordering::Relaxed)
+    }
+
+    pub fn pool_hits(&self) -> u64 {
+        self.pool_hits.load(Ordering::Relaxed)
+    }
+
+    pub fn pool_misses(&self) -> u64 {
+        self.pool_misses.load(Ordering::Relaxed)
+    }
+
+    pub fn gathers(&self) -> u64 {
+        self.gathers.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of pool checkouts served from a warm slab, in [0, 1].
+    /// 1.0 when the pool was never used (nothing was missed).
+    pub fn pool_hit_rate(&self) -> f64 {
+        let h = self.pool_hits();
+        let m = self.pool_misses();
+        if h + m == 0 {
+            1.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
     pub fn buffers_sent(&self) -> u64 {
         self.buffers_sent.load(Ordering::Relaxed)
     }
@@ -104,6 +188,12 @@ impl Stats {
         StatsSnapshot {
             copies: self.copies(),
             copied_bytes: self.copied_bytes(),
+            tm_copies: self.tm_copies(),
+            tm_copied_bytes: self.tm_copied_bytes(),
+            borrowed_bytes: self.borrowed_bytes(),
+            pool_hits: self.pool_hits(),
+            pool_misses: self.pool_misses(),
+            gathers: self.gathers(),
             buffers_sent: self.buffers_sent(),
             commits: self.commits(),
             messages: self.messages(),
@@ -112,10 +202,16 @@ impl Stats {
 }
 
 /// A point-in-time copy of [`Stats`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     pub copies: u64,
     pub copied_bytes: u64,
+    pub tm_copies: u64,
+    pub tm_copied_bytes: u64,
+    pub borrowed_bytes: u64,
+    pub pool_hits: u64,
+    pub pool_misses: u64,
+    pub gathers: u64,
     pub buffers_sent: u64,
     pub commits: u64,
     pub messages: u64,
@@ -127,6 +223,12 @@ impl StatsSnapshot {
         StatsSnapshot {
             copies: self.copies - earlier.copies,
             copied_bytes: self.copied_bytes - earlier.copied_bytes,
+            tm_copies: self.tm_copies - earlier.tm_copies,
+            tm_copied_bytes: self.tm_copied_bytes - earlier.tm_copied_bytes,
+            borrowed_bytes: self.borrowed_bytes - earlier.borrowed_bytes,
+            pool_hits: self.pool_hits - earlier.pool_hits,
+            pool_misses: self.pool_misses - earlier.pool_misses,
+            gathers: self.gathers - earlier.gathers,
             buffers_sent: self.buffers_sent - earlier.buffers_sent,
             commits: self.commits - earlier.commits,
             messages: self.messages - earlier.messages,
@@ -164,5 +266,43 @@ mod tests {
         assert_eq!(d.copies, 1);
         assert_eq!(d.copied_bytes, 5);
         assert_eq!(d.buffers_sent, 1);
+    }
+
+    #[test]
+    fn tm_copies_are_separate_from_generic_copies() {
+        let s = Stats::new();
+        s.record_copy(100);
+        s.record_tm_copy(7);
+        s.record_tm_copy(9);
+        assert_eq!(s.copies(), 1);
+        assert_eq!(s.copied_bytes(), 100);
+        assert_eq!(s.tm_copies(), 2);
+        assert_eq!(s.tm_copied_bytes(), 16);
+    }
+
+    #[test]
+    fn borrow_pool_and_gather_counters() {
+        let s = Stats::new();
+        s.record_borrowed(1 << 20);
+        s.record_pool_hit();
+        s.record_pool_hit();
+        s.record_pool_hit();
+        s.record_pool_miss();
+        s.record_gather();
+        assert_eq!(s.borrowed_bytes(), 1 << 20);
+        assert_eq!(s.pool_hits(), 3);
+        assert_eq!(s.pool_misses(), 1);
+        assert_eq!(s.gathers(), 1);
+        assert!((s.pool_hit_rate() - 0.75).abs() < 1e-9);
+        let d = s.snapshot().since(&StatsSnapshot::default());
+        assert_eq!(d.pool_hits, 3);
+        assert_eq!(d.gathers, 1);
+        assert_eq!(d.borrowed_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn hit_rate_with_no_traffic_is_one() {
+        let s = Stats::new();
+        assert_eq!(s.pool_hit_rate(), 1.0);
     }
 }

@@ -21,6 +21,7 @@
 //! and the [`TmCaps`] advertisement tells the generic layer which paths are
 //! usable.
 
+use crate::pool::PooledBuf;
 use bytes::Bytes;
 use madsim_net::NodeId;
 
@@ -53,6 +54,7 @@ pub struct StaticBuf {
 enum BufMem {
     Owned(Box<[u8]>),
     Shared(Bytes),
+    Pooled(PooledBuf),
 }
 
 impl StaticBuf {
@@ -60,6 +62,17 @@ impl StaticBuf {
     pub fn owned(cap: usize, origin: TmId) -> Self {
         StaticBuf {
             mem: BufMem::Owned(vec![0u8; cap].into_boxed_slice()),
+            len: 0,
+            origin,
+        }
+    }
+
+    /// A writable send-side buffer backed by a pooled segment: on drop the
+    /// memory returns to its [`crate::pool::BufPool`] instead of the
+    /// allocator, so steady-state static-buffer traffic reuses warm slabs.
+    pub fn pooled(buf: PooledBuf, origin: TmId) -> Self {
+        StaticBuf {
+            mem: BufMem::Pooled(buf),
             len: 0,
             origin,
         }
@@ -81,7 +94,7 @@ impl StaticBuf {
     /// True for send-side (writable, pool-backed) buffers, false for
     /// receive-side wrappers around arrival bytes.
     pub fn is_owned(&self) -> bool {
-        matches!(self.mem, BufMem::Owned(_))
+        matches!(self.mem, BufMem::Owned(_) | BufMem::Pooled(_))
     }
 
     /// Filled length.
@@ -98,6 +111,7 @@ impl StaticBuf {
         match &self.mem {
             BufMem::Owned(b) => b.len(),
             BufMem::Shared(b) => b.len(),
+            BufMem::Pooled(b) => b.capacity(),
         }
     }
 
@@ -106,6 +120,7 @@ impl StaticBuf {
         match &self.mem {
             BufMem::Owned(b) => &b[..self.len],
             BufMem::Shared(b) => &b[..self.len],
+            BufMem::Pooled(b) => &b.raw()[..self.len],
         }
     }
 
@@ -117,6 +132,10 @@ impl StaticBuf {
         match &mut self.mem {
             BufMem::Owned(b) => &mut b[self.len..],
             BufMem::Shared(_) => panic!("cannot write into a received static buffer"),
+            BufMem::Pooled(b) => {
+                let len = self.len;
+                &mut b.raw_mut()[len..]
+            }
         }
     }
 
@@ -153,6 +172,17 @@ pub trait TransmissionModule: Send + Sync {
         for b in bufs {
             self.send_buffer(dst, b);
         }
+    }
+
+    /// Scatter/gather flush: transmit a buffer group straight from the
+    /// caller's blocks, with no coalescing memcpy on the generic layer.
+    /// The Aggregate BMM flushes through this entry point. TMs with native
+    /// vectored transmission (TCP writev, SISCI back-to-back PIO) override
+    /// it; the default forwards to [`send_buffer_group`](Self::send_buffer_group),
+    /// which is itself copy-free (sequential per-block sends) unless a TM
+    /// overrides *that* with something that stages.
+    fn send_gather(&self, dst: NodeId, bufs: &[&[u8]]) {
+        self.send_buffer_group(dst, bufs);
     }
 
     /// Transmit a filled static buffer previously obtained from this TM.
@@ -236,5 +266,23 @@ mod tests {
     fn advance_past_capacity_panics() {
         let mut b = StaticBuf::owned(4, 0);
         b.advance(5);
+    }
+
+    #[test]
+    fn pooled_buffer_behaves_like_owned() {
+        let pool = crate::pool::BufPool::new(crate::stats::Stats::new());
+        let mut b = StaticBuf::pooled(pool.checkout(16), 3);
+        assert!(b.is_owned());
+        assert_eq!(b.origin(), 3);
+        assert_eq!(b.capacity(), 16);
+        b.spare_mut()[..4].copy_from_slice(b"abcd");
+        b.advance(4);
+        assert_eq!(b.filled(), b"abcd");
+        assert_eq!(b.spare(), 12);
+        b.clear();
+        assert!(b.is_empty());
+        drop(b);
+        // The slab went back to the pool.
+        assert_eq!(pool.free_count(), 1);
     }
 }

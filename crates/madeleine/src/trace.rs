@@ -47,6 +47,16 @@ pub enum TraceEvent {
     CheckoutOnSwitch { from: TmId, to: TmId },
     /// `end_unpacking`'s terminal checkout.
     EndUnpacking,
+    /// Copy-accounting summary of one completed outgoing message (recorded
+    /// right after [`EndPacking`](Self::EndPacking)): how many bytes the
+    /// generic layer copied vs. handed to the TM by reference, and how the
+    /// buffer pool served the message's checkouts.
+    MessageStats {
+        copied_bytes: u64,
+        borrowed_bytes: u64,
+        pool_hits: u64,
+        pool_misses: u64,
+    },
 }
 
 /// A timestamped event.

@@ -174,7 +174,10 @@ fn sci_dma_mode_is_much_slower_than_pio() {
         (28.0..40.0).contains(&dma),
         "SCI DMA bandwidth {dma:.1} MiB/s outside 28–40"
     );
-    assert!(pio > dma * 1.8, "PIO ({pio:.1}) should dwarf DMA ({dma:.1})");
+    assert!(
+        pio > dma * 1.8,
+        "PIO ({pio:.1}) should dwarf DMA ({dma:.1})"
+    );
 }
 
 #[test]
@@ -198,8 +201,22 @@ fn tcp_fast_ethernet_profile() {
 /// Print the full sweep for eyeballing (runs with `--nocapture`).
 #[test]
 fn print_fig4_fig5_sweep() {
-    println!("{:>9} {:>14} {:>14} {:>14} {:>14}", "size", "SISCI us", "SISCI MiB/s", "BIP us", "BIP MiB/s");
-    for &n in &[4usize, 64, 256, 1024, 4096, 8192, 16384, 65536, 262144, 1 << 20] {
+    println!(
+        "{:>9} {:>14} {:>14} {:>14} {:>14}",
+        "size", "SISCI us", "SISCI MiB/s", "BIP us", "BIP MiB/s"
+    );
+    for &n in &[
+        4usize,
+        64,
+        256,
+        1024,
+        4096,
+        8192,
+        16384,
+        65536,
+        262144,
+        1 << 20,
+    ] {
         let ts = oneway_us(Protocol::Sisci, n);
         let tb = oneway_us(Protocol::Bip, n);
         println!(

@@ -16,7 +16,9 @@ fn world_for(protocol: Protocol) -> (madsim_net::World, Config) {
 }
 
 fn patterned(n: usize, seed: u8) -> Vec<u8> {
-    (0..n).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+    (0..n)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+        .collect()
 }
 
 /// Figure-1 style message: EXPRESS length header, CHEAPER payload.
@@ -49,7 +51,9 @@ fn roundtrip_sizes(protocol: Protocol, sizes: &[usize]) {
     });
 }
 
-const SIZES: &[usize] = &[1, 4, 16, 100, 511, 512, 513, 1023, 1024, 4096, 8192, 8193, 20000, 65536, 300_000];
+const SIZES: &[usize] = &[
+    1, 4, 16, 100, 511, 512, 513, 1023, 1024, 4096, 8192, 8193, 20000, 65536, 300_000,
+];
 
 #[test]
 fn roundtrip_sisci() {
@@ -131,7 +135,13 @@ fn all_mode_combinations() {
 /// Many blocks per message, mixed sizes and modes, forcing TM switches.
 #[test]
 fn multi_block_messages_with_tm_switches() {
-    for protocol in [Protocol::Sisci, Protocol::Bip, Protocol::Tcp, Protocol::Via, Protocol::Sbp] {
+    for protocol in [
+        Protocol::Sisci,
+        Protocol::Bip,
+        Protocol::Tcp,
+        Protocol::Via,
+        Protocol::Sbp,
+    ] {
         let (world, config) = world_for(protocol);
         world.run(move |env| {
             let mad = Madeleine::init(&env, &config);
@@ -145,7 +155,11 @@ fn multi_block_messages_with_tm_switches() {
             if env.id() == 0 {
                 let mut msg = ch.begin_packing(1);
                 for (i, b) in blocks.iter().enumerate() {
-                    let r = if i % 2 == 0 { RecvMode::Express } else { RecvMode::Cheaper };
+                    let r = if i % 2 == 0 {
+                        RecvMode::Express
+                    } else {
+                        RecvMode::Cheaper
+                    };
                     msg.pack(b, SendMode::Cheaper, r);
                 }
                 msg.end_packing();
@@ -153,7 +167,11 @@ fn multi_block_messages_with_tm_switches() {
                 let mut bufs: Vec<Vec<u8>> = blocks.iter().map(|b| vec![0u8; b.len()]).collect();
                 let mut msg = ch.begin_unpacking();
                 for (i, buf) in bufs.iter_mut().enumerate() {
-                    let r = if i % 2 == 0 { RecvMode::Express } else { RecvMode::Cheaper };
+                    let r = if i % 2 == 0 {
+                        RecvMode::Express
+                    } else {
+                        RecvMode::Cheaper
+                    };
                     msg.unpack(buf, SendMode::Cheaper, r);
                 }
                 msg.end_unpacking();
@@ -231,7 +249,8 @@ fn channels_are_independent() {
     let mut b = WorldBuilder::new(2);
     b.network("sci0", NetKind::Sci, &[0, 1]);
     let world = b.build();
-    let config = Config::one("a", "sci0", Protocol::Sisci).with_channel("b", "sci0", Protocol::Sisci);
+    let config =
+        Config::one("a", "sci0", Protocol::Sisci).with_channel("b", "sci0", Protocol::Sisci);
     world.run(move |env| {
         let mad = Madeleine::init(&env, &config);
         let (ca, cb) = (mad.channel("a"), mad.channel("b"));

@@ -357,14 +357,41 @@ fn trace_shows_commit_on_tm_switch() {
             // commit 1->0, pack(small->0), end.
             assert!(matches!(ev[0], TraceEvent::BeginPacking { dst: 1 }));
             assert!(
-                matches!(ev[1], TraceEvent::Pack { len: 100, tm: 0, .. }),
+                matches!(
+                    ev[1],
+                    TraceEvent::Pack {
+                        len: 100,
+                        tm: 0,
+                        ..
+                    }
+                ),
                 "got {:?}",
                 ev[1]
             );
-            assert!(matches!(ev[2], TraceEvent::CommitOnSwitch { from: 0, to: 1 }));
-            assert!(matches!(ev[3], TraceEvent::Pack { len: 20_000, tm: 1, .. }));
-            assert!(matches!(ev[4], TraceEvent::CommitOnSwitch { from: 1, to: 0 }));
-            assert!(matches!(ev[5], TraceEvent::Pack { len: 100, tm: 0, .. }));
+            assert!(matches!(
+                ev[2],
+                TraceEvent::CommitOnSwitch { from: 0, to: 1 }
+            ));
+            assert!(matches!(
+                ev[3],
+                TraceEvent::Pack {
+                    len: 20_000,
+                    tm: 1,
+                    ..
+                }
+            ));
+            assert!(matches!(
+                ev[4],
+                TraceEvent::CommitOnSwitch { from: 1, to: 0 }
+            ));
+            assert!(matches!(
+                ev[5],
+                TraceEvent::Pack {
+                    len: 100,
+                    tm: 0,
+                    ..
+                }
+            ));
             assert!(matches!(ev[6], TraceEvent::EndPacking));
             // Timestamps are monotone.
             let times: Vec<_> = ch.tracer().events().iter().map(|t| t.at).collect();
@@ -380,9 +407,16 @@ fn trace_shows_commit_on_tm_switch() {
             msg.end_unpacking();
             let ev: Vec<_> = ch.tracer().events().into_iter().map(|t| t.event).collect();
             assert!(matches!(ev[0], TraceEvent::BeginUnpacking { src: 0 }));
-            assert!(ev.iter().any(|e| matches!(e, TraceEvent::CheckoutOnSwitch { from: 0, to: 1 })));
-            assert!(ev.iter().any(|e| matches!(e, TraceEvent::CheckoutOnSwitch { from: 1, to: 0 })));
-            assert!(matches!(ev.last().expect("non-empty"), TraceEvent::EndUnpacking));
+            assert!(ev
+                .iter()
+                .any(|e| matches!(e, TraceEvent::CheckoutOnSwitch { from: 0, to: 1 })));
+            assert!(ev
+                .iter()
+                .any(|e| matches!(e, TraceEvent::CheckoutOnSwitch { from: 1, to: 0 })));
+            assert!(matches!(
+                ev.last().expect("non-empty"),
+                TraceEvent::EndUnpacking
+            ));
         }
     });
 }

@@ -98,6 +98,36 @@ impl<T> Mailbox<T> {
         q.iter().find(|x| pred(x)).cloned()
     }
 
+    /// [`peek_wait`](Self::peek_wait) without the clone: block until an
+    /// item satisfying `pred` is present and return `proj` of the oldest
+    /// match, computed under the lock. The hot announce path only needs a
+    /// source id or a flag out of a queued frame — projecting avoids
+    /// cloning the frame (and its payload refcounts) on every poll.
+    pub fn peek_wait_map<U>(
+        &self,
+        mut pred: impl FnMut(&T) -> bool,
+        proj: impl FnOnce(&T) -> U,
+    ) -> U {
+        let mut q = self.inner.queue.lock();
+        loop {
+            if let Some(item) = q.iter().find(|x| pred(x)) {
+                return proj(item);
+            }
+            self.inner.cond.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking [`peek_wait_map`](Self::peek_wait_map): `proj` of the
+    /// oldest matching item, if any — no clone.
+    pub fn try_peek_map<U>(
+        &self,
+        mut pred: impl FnMut(&T) -> bool,
+        proj: impl FnOnce(&T) -> U,
+    ) -> Option<U> {
+        let q = self.inner.queue.lock();
+        q.iter().find(|x| pred(x)).map(proj)
+    }
+
     /// Number of queued items (racy; for tests and diagnostics).
     pub fn len(&self) -> usize {
         self.inner.queue.lock().len()
@@ -185,5 +215,35 @@ mod tests {
         assert_eq!(m.recv_match(|&x| x % 2 == 1), 11);
         assert_eq!(m.recv_match(|&x| x % 2 == 1), 13);
         assert_eq!(m.len(), 2);
+    }
+
+    /// A type that panics if cloned: proves the projection peeks really
+    /// never clone the queued item.
+    struct NoClone(u32);
+    impl Clone for NoClone {
+        fn clone(&self) -> Self {
+            panic!("peeked item was cloned");
+        }
+    }
+
+    #[test]
+    fn try_peek_map_does_not_clone_or_consume() {
+        let m = Mailbox::new();
+        assert_eq!(m.try_peek_map(|_: &NoClone| true, |x| x.0), None);
+        m.push(NoClone(7));
+        m.push(NoClone(8));
+        assert_eq!(m.try_peek_map(|x| x.0 > 7, |x| x.0), Some(8));
+        assert_eq!(m.len(), 2, "peek must not consume");
+    }
+
+    #[test]
+    fn peek_wait_map_wakes_on_push_without_cloning() {
+        let m = Mailbox::new();
+        let m2 = m.clone();
+        let h = thread::spawn(move || m2.peek_wait_map(|x: &NoClone| x.0 == 42, |x| x.0));
+        thread::sleep(Duration::from_millis(20));
+        m.push(NoClone(42));
+        assert_eq!(h.join().unwrap(), 42);
+        assert_eq!(m.len(), 1, "peek must not consume");
     }
 }

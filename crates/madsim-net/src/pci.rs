@@ -103,8 +103,7 @@ impl PciBus {
         }
         // PIO loses arbitration while a DMA engine is active or the bus is
         // already queued; DMA pays only the serialization.
-        let contended =
-            self.timeline.next_free() > start || *self.dma_active_until.lock() > start;
+        let contended = self.timeline.next_free() > start || *self.dma_active_until.lock() > start;
         let dur = if contended && kind == BusKind::Pio {
             base.scale(self.cfg.pio_contended_inflation)
         } else {

@@ -132,16 +132,14 @@ impl Bip {
     pub fn peek_short_src(&self, tag: u64) -> Option<NodeId> {
         self.adapter
             .inbox()
-            .try_peek(|f| f.kind == KIND_SHORT && f.tag == tag)
-            .map(|f| f.src)
+            .try_peek_map(|f| f.kind == KIND_SHORT && f.tag == tag, |f| f.src)
     }
 
     /// Blocking variant of [`peek_short_src`](Self::peek_short_src).
     pub fn wait_short_src(&self, tag: u64) -> NodeId {
         self.adapter
             .inbox()
-            .peek_wait(|f| f.kind == KIND_SHORT && f.tag == tag)
-            .src
+            .peek_wait_map(|f| f.kind == KIND_SHORT && f.tag == tag, |f| f.src)
     }
 
     /// Send a short message (≤ [`BIP_SHORT_MAX`] bytes). Returns as soon as
@@ -252,8 +250,7 @@ impl Bip {
         );
         // Local completion: the wire hop is the only part that overlaps
         // with the caller.
-        let local_done =
-            arrival.saturating_sub(VDuration::from_micros_f64(t.short_lat_us));
+        let local_done = arrival.saturating_sub(VDuration::from_micros_f64(t.short_lat_us));
         time::advance_to(local_done);
         time::advance(VDuration::from_micros_f64(t.host_post_us));
     }
@@ -304,9 +301,7 @@ impl Bip {
     /// from the instant both sides are ready (includes the rendezvous).
     pub fn long_oneway(&self, len: usize) -> VDuration {
         let t = self.timing;
-        VDuration::from_micros_f64(
-            t.ctrl_lat_us + t.long_lat_us + len as f64 * t.long_per_byte_us,
-        )
+        VDuration::from_micros_f64(t.ctrl_lat_us + t.long_lat_us + len as f64 * t.long_per_byte_us)
     }
 
     /// Uncontended one-way time of a short message of `len` bytes.

@@ -201,16 +201,14 @@ impl Sbp {
     pub fn wait_pending_src(&self, tag: u64) -> NodeId {
         self.adapter
             .inbox()
-            .peek_wait(|f| f.kind == KIND_SBP && f.tag == tag)
-            .src
+            .peek_wait_map(|f| f.kind == KIND_SBP && f.tag == tag, |f| f.src)
     }
 
     /// Non-blocking variant of [`wait_pending_src`](Self::wait_pending_src).
     pub fn peek_pending_src(&self, tag: u64) -> Option<NodeId> {
         self.adapter
             .inbox()
-            .try_peek(|f| f.kind == KIND_SBP && f.tag == tag)
-            .map(|f| f.src)
+            .try_peek_map(|f| f.kind == KIND_SBP && f.tag == tag, |f| f.src)
     }
 
     /// Receive the next message under `tag` into a kernel receive buffer.

@@ -317,11 +317,9 @@ impl RemoteSegment {
         }
         let t = &self.timing;
         let t0 = time::now();
-        let cpu = VDuration::from_micros_f64(
-            t.pio_setup_us + data.len() as f64 * t.pio_per_byte_us,
-        );
-        let bus_occ =
-            VDuration::from_micros_f64(data.len() as f64 * t.pio_bus_per_byte_us);
+        let cpu =
+            VDuration::from_micros_f64(t.pio_setup_us + data.len() as f64 * t.pio_per_byte_us);
+        let bus_occ = VDuration::from_micros_f64(data.len() as f64 * t.pio_bus_per_byte_us);
         // Sender bus: PIO outbound; the CPU is stalled for the stretched
         // duration under contention.
         let send_end = self
@@ -380,13 +378,12 @@ impl RemoteSegment {
         let send_end = self
             .sender_bus
             .transfer(BusKind::Dma, BusDir::Outbound, t0, occ);
-        let nominal_arrival =
-            send_end.max(t0 + dur) + VDuration::from_micros_f64(t.wire_lat_us);
+        let nominal_arrival = send_end.max(t0 + dur) + VDuration::from_micros_f64(t.wire_lat_us);
         let busy_start = nominal_arrival.saturating_sub(occ);
-        let in_end =
-            self.inner
-                .owner_bus
-                .transfer(BusKind::Dma, BusDir::Inbound, busy_start, occ);
+        let in_end = self
+            .inner
+            .owner_bus
+            .transfer(BusKind::Dma, BusDir::Inbound, busy_start, occ);
         in_end.max(nominal_arrival)
     }
 }

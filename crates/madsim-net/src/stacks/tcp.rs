@@ -76,16 +76,14 @@ impl TcpStack {
     pub fn wait_pending_src(&self, port: u32) -> NodeId {
         self.adapter
             .inbox()
-            .peek_wait(|f| f.kind == KIND_TCP && f.tag == port as u64)
-            .src
+            .peek_wait_map(|f| f.kind == KIND_TCP && f.tag == port as u64, |f| f.src)
     }
 
     /// Non-blocking variant of [`wait_pending_src`](Self::wait_pending_src).
     pub fn peek_pending_src(&self, port: u32) -> Option<NodeId> {
         self.adapter
             .inbox()
-            .try_peek(|f| f.kind == KIND_TCP && f.tag == port as u64)
-            .map(|f| f.src)
+            .try_peek_map(|f| f.kind == KIND_TCP && f.tag == port as u64, |f| f.src)
     }
 
     /// Establish (both sides call this) a full-duplex connection to `peer`
@@ -127,8 +125,7 @@ impl TcpConn {
     /// done (the kernel drains asynchronously).
     pub fn send(&mut self, data: &[u8]) {
         let t = &self.timing;
-        let oneway =
-            VDuration::from_micros_f64(t.lat_us + data.len() as f64 * t.per_byte_us);
+        let oneway = VDuration::from_micros_f64(t.lat_us + data.len() as f64 * t.per_byte_us);
         let bus_occ = VDuration::from_micros_f64(data.len() as f64 * t.bus_per_byte_us);
         let arrival = charge_send_bus(&self.adapter, BusKind::Dma, oneway, bus_occ);
         let arrival = charge_dest_bus(&self.adapter, self.peer, BusKind::Dma, arrival, bus_occ);

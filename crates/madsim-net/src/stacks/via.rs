@@ -156,8 +156,7 @@ impl Vi {
             self.tag
         );
         let t = &self.timing;
-        let oneway =
-            VDuration::from_micros_f64(t.lat_us + data.len() as f64 * t.per_byte_us);
+        let oneway = VDuration::from_micros_f64(t.lat_us + data.len() as f64 * t.per_byte_us);
         let bus_occ = VDuration::from_micros_f64(data.len() as f64 * t.bus_per_byte_us);
         let arrival = charge_send_bus(&self.adapter, BusKind::Dma, oneway, bus_occ);
         let arrival = charge_dest_bus(&self.adapter, self.peer, BusKind::Dma, arrival, bus_occ);
@@ -177,9 +176,10 @@ impl Vi {
     /// Non-blocking receive: completes the oldest posted receive if a
     /// message has already arrived.
     pub fn try_recv(&mut self) -> Option<Bytes> {
-        let f = self.adapter.inbox().try_recv_match(|f| {
-            f.kind == KIND_VIA && f.src == self.peer && f.tag == self.tag
-        })?;
+        let f = self
+            .adapter
+            .inbox()
+            .try_recv_match(|f| f.kind == KIND_VIA && f.src == self.peer && f.tag == self.tag)?;
         let cap = self
             .posted_caps
             .pop_front()
@@ -197,7 +197,10 @@ impl Vi {
     pub fn has_pending(&self) -> bool {
         self.adapter
             .inbox()
-            .try_peek(|f| f.kind == KIND_VIA && f.src == self.peer && f.tag == self.tag)
+            .try_peek_map(
+                |f| f.kind == KIND_VIA && f.src == self.peer && f.tag == self.tag,
+                |_| (),
+            )
             .is_some()
     }
 

@@ -99,12 +99,8 @@ impl WorldBuilder {
         // One inbound mailbox per (network, member node).
         let mut networks = Vec::with_capacity(self.networks.len());
         for spec in &self.networks {
-            let mailboxes: Arc<HashMap<NodeId, Mailbox<Frame>>> = Arc::new(
-                spec.members
-                    .iter()
-                    .map(|&m| (m, Mailbox::new()))
-                    .collect(),
-            );
+            let mailboxes: Arc<HashMap<NodeId, Mailbox<Frame>>> =
+                Arc::new(spec.members.iter().map(|&m| (m, Mailbox::new())).collect());
             networks.push(BuiltNetwork {
                 uid: NEXT_NET_UID.fetch_add(1, Ordering::Relaxed),
                 name: Arc::clone(&spec.name),

@@ -72,11 +72,8 @@ fn forward_with_limit(limit: Option<f64>) -> f64 {
     b.network("myr0", NetKind::Myrinet, &[0, 1]);
     b.network("sci0", NetKind::Sci, &[1, 2]);
     let world = b.build();
-    let config = Config::one("myr", "myr0", Protocol::Bip).with_channel(
-        "sci",
-        "sci0",
-        Protocol::Sisci,
-    );
+    let config =
+        Config::one("myr", "myr0", Protocol::Bip).with_channel("sci", "sci0", Protocol::Sisci);
     let out = world.run(move |env| {
         let mad = Madeleine::init(&env, &config);
         let spec = VirtualChannelSpec::new("vc", &["myr", "sci"], 16384);

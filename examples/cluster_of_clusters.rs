@@ -39,11 +39,8 @@ fn run_once(packet: usize, msg_len: usize) -> f64 {
     b.network("sci0", NetKind::Sci, &[0, 1, 2]);
     b.network("myr0", NetKind::Myrinet, &[2, 3, 4]);
     let world = b.build();
-    let config = Config::one("sci", "sci0", Protocol::Sisci).with_channel(
-        "myr",
-        "myr0",
-        Protocol::Bip,
-    );
+    let config =
+        Config::one("sci", "sci0", Protocol::Sisci).with_channel("myr", "myr0", Protocol::Bip);
 
     let times = world.run(|env| {
         let mad = Madeleine::init(&env, &config);

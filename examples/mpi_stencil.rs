@@ -40,7 +40,11 @@ fn main() {
         for step in 0..200 {
             // Halo exchange with neighbours (non-periodic rod).
             let left = rank.checked_sub(1);
-            let right = if rank + 1 < size { Some(rank + 1) } else { None };
+            let right = if rank + 1 < size {
+                Some(rank + 1)
+            } else {
+                None
+            };
             let mut halo = [0u8; 8];
             if let Some(l) = left {
                 let st = mpi.sendrecv(
@@ -72,7 +76,11 @@ fn main() {
             let mut local_delta = 0.0f64;
             for i in 1..=CELLS_PER_RANK {
                 // Reflecting boundaries at the rod ends.
-                let lval = if i == 1 && left.is_none() { u[1] } else { u[i - 1] };
+                let lval = if i == 1 && left.is_none() {
+                    u[1]
+                } else {
+                    u[i - 1]
+                };
                 let rval = if i == CELLS_PER_RANK && right.is_none() {
                     u[CELLS_PER_RANK]
                 } else {
@@ -96,7 +104,10 @@ fn main() {
         // Heat is conserved (reflecting boundaries).
         let local_heat: f64 = u[1..=CELLS_PER_RANK].iter().sum();
         let total_heat = mpi.allreduce(ReduceOp::Sum, &[local_heat])[0];
-        assert!((total_heat - 1000.0).abs() < 1e-6, "heat leaked: {total_heat}");
+        assert!(
+            (total_heat - 1000.0).abs() < 1e-6,
+            "heat leaked: {total_heat}"
+        );
 
         if rank == 0 {
             println!(

@@ -19,11 +19,8 @@ fn main() {
     b.network("sci0", NetKind::Sci, &[0, 1]);
     b.network("myr0", NetKind::Myrinet, &[0, 1]);
     let world = b.build();
-    let config = Config::one("control", "sci0", Protocol::Sisci).with_channel(
-        "data",
-        "myr0",
-        Protocol::Bip,
-    );
+    let config =
+        Config::one("control", "sci0", Protocol::Sisci).with_channel("data", "myr0", Protocol::Bip);
 
     world.run(|env| {
         let mad = Madeleine::init(&env, &config);

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build, tests, lints, formatting.
+# Run from anywhere; operates on the repository this script lives in.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+cargo fmt --all -- --check
+
+echo "verify: all checks passed"
