@@ -1,0 +1,67 @@
+//! Fault-injection bench: TCP bulk goodput under seeded frame loss — the
+//! price of the ARQ robustness layer, from the unarmed fast path through
+//! 5% loss. Prints a table and writes the raw numbers to
+//! `BENCH_faults.json`.
+//!
+//! Usage: `faults [--out PATH] [--seed N] [--transfers N] [--bytes N]`
+
+use bench::experiments::{loss_sweep, LossPoint};
+
+#[derive(serde::Serialize)]
+struct Output {
+    seed: u64,
+    transfers: usize,
+    bytes_per_transfer: usize,
+    points: Vec<LossPoint>,
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_faults.json".into());
+    let seed: u64 = arg_value(&args, "--seed")
+        .map(|v| v.parse().expect("--seed takes an integer"))
+        .unwrap_or(42);
+    let transfers: usize = arg_value(&args, "--transfers")
+        .map(|v| v.parse().expect("--transfers takes a count"))
+        .unwrap_or(8);
+    let bytes: usize = arg_value(&args, "--bytes")
+        .map(|v| v.parse().expect("--bytes takes a byte count"))
+        .unwrap_or(1 << 20);
+
+    println!("== TCP bulk goodput vs seeded frame loss — {transfers} x {bytes} B, seed {seed} ==");
+    println!(
+        "{:>8} {:>12} {:>10} {:>12} {:>8}",
+        "loss", "virtual ms", "MiB/s", "retransmits", "drops"
+    );
+    let points = loss_sweep(seed, transfers, bytes);
+    for p in &points {
+        let loss = match p.loss {
+            Some(r) => format!("{:.1}%", r * 100.0),
+            None => "unarmed".into(),
+        };
+        println!(
+            "{:>8} {:>12.1} {:>10.2} {:>12} {:>8}",
+            loss,
+            p.virtual_us / 1000.0,
+            p.goodput_mibps,
+            p.retransmits,
+            p.drops
+        );
+    }
+
+    let out = Output {
+        seed,
+        transfers,
+        bytes_per_transfer: bytes,
+        points,
+    };
+    let json = serde_json::to_string_pretty(&out).expect("serialize results");
+    std::fs::write(&out_path, json).expect("write results");
+    eprintln!("wrote {out_path}");
+}

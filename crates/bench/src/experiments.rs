@@ -13,7 +13,7 @@ use madeleine::{Config, Madeleine, Protocol, RecvMode, SendMode};
 use madsim_net::perf::mibps;
 use madsim_net::stacks::bip::Bip;
 use madsim_net::time::{self, VDuration};
-use madsim_net::{NetKind, WorldBuilder};
+use madsim_net::{FaultPlan, NetKind, WorldBuilder};
 
 /// Message sizes swept by the latency/bandwidth figures.
 pub fn sweep_sizes() -> Vec<usize> {
@@ -578,6 +578,79 @@ pub fn modern_fabric_whatif() -> Vec<Series> {
         fast.push(n, mibps(n, VDuration::from_micros_f64(tf)));
     }
     vec![paper, fast]
+}
+
+/// One point of the fault-injection sweep: a TCP bulk stream of
+/// `transfers x n` bytes under seeded frame loss.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct LossPoint {
+    /// Loss probability per data frame; `None` = no fault plan installed
+    /// (the unarmed fast path, with no sequence numbers or acks at all).
+    pub loss: Option<f64>,
+    /// Total payload bytes moved.
+    pub bytes: usize,
+    /// Receiver's virtual clock when the last byte landed, µs.
+    pub virtual_us: f64,
+    pub goodput_mibps: f64,
+    /// Retransmissions the ARQ performed (Stats counter, both nodes).
+    pub retransmits: u64,
+    /// Frames the fault layer discarded.
+    pub drops: u64,
+}
+
+/// Measure one [`LossPoint`]: `transfers` one-way CHEAPER messages of `n`
+/// bytes over TCP, with the fabric dropping each data frame with
+/// probability `loss` (`None` leaves the fault layer out entirely).
+pub fn lossy_goodput(seed: u64, loss: Option<f64>, transfers: usize, n: usize) -> LossPoint {
+    let mut b = WorldBuilder::new(2);
+    if let Some(rate) = loss {
+        b = b.fault_plan(FaultPlan::new(seed).drop_rate(rate));
+    }
+    b.network("eth0", NetKind::Ethernet, &[0, 1]);
+    let world = b.build();
+    let config = Config::one("ch", "eth0", Protocol::Tcp);
+    let out = world.run(move |env| {
+        let mad = Madeleine::init(&env, &config);
+        let ch = mad.channel("ch");
+        if env.id() == 0 {
+            let data = vec![0x6Bu8; n];
+            for _ in 0..transfers {
+                let mut m = ch.begin_packing(1);
+                m.pack(&data, SendMode::Cheaper, RecvMode::Cheaper);
+                m.end_packing();
+            }
+            (ch.stats().retransmits(), 0.0)
+        } else {
+            let mut got = vec![0u8; n];
+            for _ in 0..transfers {
+                let mut m = ch.begin_unpacking();
+                m.unpack(&mut got, SendMode::Cheaper, RecvMode::Cheaper);
+                m.end_unpacking();
+            }
+            (ch.stats().retransmits(), time::now().as_micros_f64())
+        }
+    });
+    let bytes = transfers * n;
+    let virtual_us = out[1].1;
+    LossPoint {
+        loss,
+        bytes,
+        virtual_us,
+        goodput_mibps: mibps(bytes, VDuration::from_micros_f64(virtual_us)),
+        retransmits: out[0].0 + out[1].0,
+        drops: world.faults().map_or(0, |f| f.drops()),
+    }
+}
+
+/// The `faults` bench sweep: goodput vs loss rate. The `None` row is the
+/// unarmed fast-path baseline; the `0%` row prices the armed ARQ (sequence
+/// numbers + stop-and-wait acks) with nothing actually lost.
+pub fn loss_sweep(seed: u64, transfers: usize, n: usize) -> Vec<LossPoint> {
+    let rates = [None, Some(0.0), Some(0.005), Some(0.01), Some(0.02), Some(0.05)];
+    rates
+        .iter()
+        .map(|&loss| lossy_goodput(seed, loss, transfers, n))
+        .collect()
 }
 
 fn modern_oneway_us(timing: madsim_net::stacks::bip::BipTiming, n: usize) -> f64 {

@@ -20,10 +20,11 @@
 
 use crate::generic_tm::{hop_recv, hop_send, recv_fragment_header};
 use crate::route::Route;
-use crate::vchannel::{route_of, VirtualChannelSpec};
+use crate::vchannel::{route_of_chain, VirtualChannelSpec};
 use crate::wire::FragHeader;
 use madeleine::bmm::SendPolicy;
 use madeleine::config::Config;
+use madeleine::error::MadResult;
 use madeleine::flags::{RecvMode, SendMode};
 use madeleine::pmm::Pmm;
 use madeleine::pool::{BufPool, PooledBuf};
@@ -118,8 +119,10 @@ pub struct Gateway {
 
 impl Gateway {
     /// Spawn the forwarding pipelines this node owes to `spec` (one
-    /// two-thread pipeline per direction per adjacency it gateways), with
-    /// the default configuration. Returns `None` on non-gateway nodes.
+    /// two-thread pipeline per direction per adjacency it gateways, on the
+    /// primary route **and on every alternate**), with the default
+    /// configuration. Returns `None` on nodes gatewaying no route of the
+    /// spec.
     pub fn spawn(
         env: &NodeEnv,
         mad: &Madeleine,
@@ -138,39 +141,37 @@ impl Gateway {
         gwcfg: GatewayConfig,
     ) -> Option<Gateway> {
         let me = env.id();
-        let route = Arc::new(route_of(env, config, spec));
-        let positions = route.gateway_positions(me);
-        if positions.is_empty() {
-            return None;
-        }
         let stop = Arc::new(AtomicBool::new(false));
         let mut threads = Vec::new();
         let mut stats_out = Vec::new();
-        for i in positions {
-            // Two directions: left-to-right (hop i → hop i+1) and back.
-            for (hop_in, hop_out) in [(i, i + 1), (i + 1, i)] {
-                let in_pmm = Arc::clone(mad.channel(&spec.hops[hop_in]).pmm());
-                let out_pmm = Arc::clone(mad.channel(&spec.hops[hop_out]).pmm());
-                let stats = Stats::new();
-                stats_out.push((
-                    format!(
-                        "{}:{}->{}",
-                        spec.name, spec.hops[hop_in], spec.hops[hop_out]
-                    ),
-                    Arc::clone(&stats),
-                ));
-                threads.extend(spawn_direction(
-                    env,
-                    Arc::clone(&route),
-                    me,
-                    in_pmm,
-                    out_pmm,
-                    config,
-                    gwcfg,
-                    Arc::clone(&stats),
-                    Arc::clone(&stop),
-                ));
+        for chain in spec.chains() {
+            let route = Arc::new(route_of_chain(env, config, chain));
+            for i in route.gateway_positions(me) {
+                // Two directions: left-to-right (hop i → hop i+1) and back.
+                for (hop_in, hop_out) in [(i, i + 1), (i + 1, i)] {
+                    let in_pmm = Arc::clone(mad.channel(&chain[hop_in]).pmm());
+                    let out_pmm = Arc::clone(mad.channel(&chain[hop_out]).pmm());
+                    let stats = Stats::new();
+                    stats_out.push((
+                        format!("{}:{}->{}", spec.name, chain[hop_in], chain[hop_out]),
+                        Arc::clone(&stats),
+                    ));
+                    threads.extend(spawn_direction(
+                        env,
+                        Arc::clone(&route),
+                        me,
+                        in_pmm,
+                        out_pmm,
+                        config,
+                        gwcfg,
+                        Arc::clone(&stats),
+                        Arc::clone(&stop),
+                    ));
+                }
             }
+        }
+        if threads.is_empty() {
+            return None;
         }
         Some(Gateway {
             stop,
@@ -237,15 +238,32 @@ fn spawn_direction(
                 };
                 time::advance_to(slot_free_at);
 
-                let hdr = recv_fragment_header(&in_pmm, neighbor, host, &stats);
+                let hdr = match recv_fragment_header(&in_pmm, neighbor, host, &stats) {
+                    Ok(h) => h,
+                    Err(_) => {
+                        // The incoming hop died mid-fragment: drop it and
+                        // recycle the slot — the end nodes' failover makes
+                        // the block whole again on another route.
+                        stats.record_frag_discarded();
+                        let _ = free_tx.send(time::now());
+                        continue;
+                    }
+                };
                 debug_assert_ne!(hdr.dst, me, "gateways are not endpoints");
                 // Bandwidth control: admit the payload at the regulated
                 // rate before pulling it across the bus.
                 if let Some(l) = limiter.as_mut() {
                     l.admit(hdr.len);
                 }
-                let payload =
-                    receive_payload(&in_pmm, &out_pmm, neighbor, &hdr, &pool, host, &stats);
+                let got = receive_payload(&in_pmm, &out_pmm, neighbor, &hdr, &pool, host, &stats);
+                let payload = match got {
+                    Ok(p) => p,
+                    Err(_) => {
+                        stats.record_frag_discarded();
+                        let _ = free_tx.send(time::now());
+                        continue;
+                    }
+                };
                 time::advance(VDuration::from_micros_f64(GW_RECV_OVERHEAD_US));
                 if std::env::var("GW_DEBUG").is_ok() {
                     eprintln!("gw-recv frag len {} done at {:?}", hdr.len, time::now());
@@ -277,35 +295,45 @@ fn spawn_direction(
             {
                 time::advance_to(ready);
                 let (_hop, next) = route.next_leg(me, hdr.dst);
-                hop_send(
-                    &out_pmm,
-                    next,
-                    &hdr.encode(),
-                    RecvMode::Express,
-                    host,
-                    &stats,
-                );
-                match payload {
-                    GwPayload::Dyn(v) => {
-                        if !v.is_empty() {
-                            hop_send(&out_pmm, next, &v, RecvMode::Cheaper, host, &stats);
+                let forwarded: MadResult<()> = (|| {
+                    hop_send(
+                        &out_pmm,
+                        next,
+                        &hdr.encode(),
+                        RecvMode::Express,
+                        host,
+                        &stats,
+                    )?;
+                    match payload {
+                        GwPayload::Dyn(v) => {
+                            if !v.is_empty() {
+                                hop_send(&out_pmm, next, &v, RecvMode::Cheaper, host, &stats)?;
+                            }
+                        }
+                        GwPayload::OutStatic(buf) => {
+                            let id =
+                                out_pmm.select(buf.len(), SendMode::Cheaper, RecvMode::Cheaper);
+                            out_pmm.tm(id).send_static_buffer(next, buf)?;
+                            stats.record_buffer_sent();
+                        }
+                        GwPayload::InStatic(buf) => {
+                            hop_send(
+                                &out_pmm,
+                                next,
+                                buf.filled(),
+                                RecvMode::Cheaper,
+                                host,
+                                &stats,
+                            )?;
                         }
                     }
-                    GwPayload::OutStatic(buf) => {
-                        let id = out_pmm.select(buf.len(), SendMode::Cheaper, RecvMode::Cheaper);
-                        out_pmm.tm(id).send_static_buffer(next, buf);
-                        stats.record_buffer_sent();
-                    }
-                    GwPayload::InStatic(buf) => {
-                        hop_send(
-                            &out_pmm,
-                            next,
-                            buf.filled(),
-                            RecvMode::Cheaper,
-                            host,
-                            &stats,
-                        );
-                    }
+                    Ok(())
+                })();
+                if forwarded.is_err() {
+                    // The outgoing hop is dead. Drop the fragment — the
+                    // end nodes' offset-checked reassembly discards the
+                    // stale tail and restarts the block on another route.
+                    stats.record_frag_discarded();
                 }
                 time::advance(VDuration::from_micros_f64(GW_SEND_OVERHEAD_US));
                 if std::env::var("GW_DEBUG").is_ok() {
@@ -330,9 +358,9 @@ fn receive_payload(
     pool: &BufPool,
     host: madeleine::config::HostModel,
     stats: &Arc<Stats>,
-) -> GwPayload {
+) -> MadResult<GwPayload> {
     if hdr.len == 0 {
-        return GwPayload::Dyn(pool.checkout(0));
+        return Ok(GwPayload::Dyn(pool.checkout(0)));
     }
     let out_id = out_pmm.select(hdr.len, SendMode::Cheaper, RecvMode::Cheaper);
     let out_tm = out_pmm.tm(out_id);
@@ -351,18 +379,18 @@ fn receive_payload(
             RecvMode::Cheaper,
             host,
             stats,
-        );
+        )?;
         buf.advance(hdr.len);
-        GwPayload::OutStatic(buf)
+        Ok(GwPayload::OutStatic(buf))
     } else if in_static && hdr.len <= in_tm.caps().buffer_cap {
         // Forward the arrival buffer itself.
-        let buf = in_tm.receive_static_buffer(neighbor);
+        let buf = in_tm.receive_static_buffer(neighbor)?;
         assert_eq!(
             buf.len(),
             hdr.len,
             "arrival buffer does not match the fragment header"
         );
-        GwPayload::InStatic(buf)
+        Ok(GwPayload::InStatic(buf))
     } else {
         let mut v = pool.checkout(hdr.len);
         hop_recv(
@@ -372,8 +400,8 @@ fn receive_payload(
             RecvMode::Cheaper,
             host,
             stats,
-        );
+        )?;
         v.advance(hdr.len);
-        GwPayload::Dyn(v)
+        Ok(GwPayload::Dyn(v))
     }
 }

@@ -11,7 +11,15 @@
 //! uniform header per fragment instead (16 bytes against fragments of
 //! 8–128 kB) — simpler, same asymptotics, and it keeps gateways fully
 //! stateless.
+//!
+//! The header also carries the fragment's **byte offset within its block**.
+//! On a reliable fabric the field is redundant (fragments arrive in order,
+//! so the offset always equals the bytes already reassembled); under
+//! failover it is what lets the receiver tell a restarted block (offset 0)
+//! from the stale tail of an aborted attempt, and discard the latter
+//! safely.
 
+use madeleine::error::{MadError, MadResult};
 use madsim_net::NodeId;
 
 /// Fragment header length on the wire.
@@ -28,6 +36,8 @@ pub struct FragHeader {
     pub dst: NodeId,
     /// Payload bytes following this header.
     pub len: usize,
+    /// Byte offset of this fragment within its block.
+    pub offset: usize,
 }
 
 impl FragHeader {
@@ -37,22 +47,37 @@ impl FragHeader {
         b[2] = u8::try_from(self.src).expect("node ids < 256");
         b[3] = u8::try_from(self.dst).expect("node ids < 256");
         b[4..8].copy_from_slice(&(self.len as u32).to_le_bytes());
+        b[8..12].copy_from_slice(&(self.offset as u32).to_le_bytes());
         b
     }
 
-    /// # Panics
-    /// Panics on a corrupt magic — a gateway fed non-fragment traffic
+    /// Decode a fragment header, reporting a corrupt magic as
+    /// [`MadError::CorruptStream`] — a gateway fed non-fragment traffic
     /// (e.g. a hop channel also used directly by the application).
-    pub fn decode(b: &[u8; FRAG_HEADER_LEN]) -> Self {
+    pub fn try_decode(b: &[u8; FRAG_HEADER_LEN]) -> MadResult<Self> {
         let magic = u16::from_le_bytes(b[0..2].try_into().expect("2 bytes"));
-        assert_eq!(
-            magic, FRAG_MAGIC,
-            "corrupt fragment header: hop channel carrying non-virtual-channel traffic?"
-        );
-        FragHeader {
+        if magic != FRAG_MAGIC {
+            return Err(MadError::corrupt(format!(
+                "corrupt fragment header (magic {magic:#06x}): hop channel \
+                 carrying non-virtual-channel traffic?"
+            )));
+        }
+        Ok(FragHeader {
             src: b[2] as NodeId,
             dst: b[3] as NodeId,
             len: u32::from_le_bytes(b[4..8].try_into().expect("4 bytes")) as usize,
+            offset: u32::from_le_bytes(b[8..12].try_into().expect("4 bytes")) as usize,
+        })
+    }
+
+    /// [`try_decode`](Self::try_decode) for contexts that cannot recover.
+    ///
+    /// # Panics
+    /// Panics on a corrupt magic.
+    pub fn decode(b: &[u8; FRAG_HEADER_LEN]) -> Self {
+        match Self::try_decode(b) {
+            Ok(h) => h,
+            Err(e) => panic!("{e}"),
         }
     }
 }
@@ -67,15 +92,20 @@ mod tests {
             src: 3,
             dst: 9,
             len: 131072,
+            offset: 8192,
         };
         assert_eq!(FragHeader::decode(&h.encode()), h);
     }
 
     #[test]
-    #[should_panic(expected = "corrupt fragment header")]
-    fn bad_magic_panics() {
+    fn bad_magic_is_a_corrupt_stream_error() {
         let b = [0u8; FRAG_HEADER_LEN];
-        let _ = FragHeader::decode(&b);
+        match FragHeader::try_decode(&b) {
+            Err(MadError::CorruptStream(what)) => {
+                assert!(what.contains("corrupt fragment header"), "got {what:?}")
+            }
+            other => panic!("expected CorruptStream, got {other:?}"),
+        }
     }
 
     #[test]
@@ -84,6 +114,7 @@ mod tests {
             src: 0,
             dst: 1,
             len: 0,
+            offset: 0,
         };
         assert_eq!(FragHeader::decode(&h.encode()), h);
     }

@@ -23,6 +23,7 @@
 //! ```
 
 use bytes::Bytes;
+use madeleine::error::{MadError, MadResult};
 use madeleine::{Channel, RecvMode, SendMode};
 use madsim_net::time::{self, VDuration};
 use madsim_net::NodeId;
@@ -109,8 +110,13 @@ impl Pm2 {
         }
     }
 
-    /// Receive and process one message; returns true if it was a request.
-    fn pump_one(&self) -> bool {
+    /// Receive and process one message; `Ok(true)` if it was a request.
+    ///
+    /// An unknown envelope kind is reported as
+    /// [`MadError::CorruptStream`] *after* the message has been fully
+    /// drained from the channel, so a caller may log the incident and keep
+    /// pumping instead of tearing the whole node down.
+    pub fn try_pump_one(&self) -> MadResult<bool> {
         let mut msg = self.chan.begin_unpacking();
         let src = msg.src();
         let mut env = [0u8; ENVELOPE_LEN];
@@ -140,13 +146,27 @@ impl Pm2 {
                 if !fire_and_forget {
                     self.emit(src, KIND_REPLY, service, req_id, &reply);
                 }
-                true
+                Ok(true)
             }
             KIND_REPLY => {
                 self.parked_replies.lock().insert(req_id, payload);
-                false
+                Ok(false)
             }
-            other => panic!("corrupt PM2 envelope kind {other}"),
+            other => Err(MadError::corrupt(format!(
+                "corrupt PM2 envelope kind {other} from node {src}"
+            ))),
+        }
+    }
+
+    /// [`try_pump_one`](Self::try_pump_one) for contexts that cannot
+    /// recover.
+    ///
+    /// # Panics
+    /// Panics on a corrupt envelope.
+    fn pump_one(&self) -> bool {
+        match self.try_pump_one() {
+            Ok(was_request) => was_request,
+            Err(e) => panic!("{e}"),
         }
     }
 

@@ -175,6 +175,33 @@ fn unknown_service_panics() {
     });
 }
 
+#[test]
+fn corrupt_envelope_is_a_recoverable_error() {
+    use madeleine::error::MadError;
+    use madeleine::{RecvMode, SendMode};
+    let (world, config) = pm2_world(2);
+    world.run(move |env| {
+        let mad = Madeleine::init(&env, &config);
+        let chan = mad.channel("pm2");
+        if env.id() == 0 {
+            // Hand-craft an envelope with an unknown kind byte.
+            let mut raw = [0u8; 20];
+            raw[0] = 0x2A;
+            let mut msg = chan.begin_packing(1);
+            msg.pack(&raw, SendMode::Cheaper, RecvMode::Express);
+            msg.end_packing();
+        } else {
+            let pm2 = Pm2::new(Arc::clone(chan));
+            match pm2.try_pump_one() {
+                Err(MadError::CorruptStream(what)) => {
+                    assert!(what.contains("PM2 envelope kind 42"), "got {what:?}")
+                }
+                other => panic!("expected CorruptStream, got {other:?}"),
+            }
+        }
+    });
+}
+
 /// PM2 across heterogeneous clusters through the gateway (the combination
 /// the paper's intro promises: RPC runtimes over transparent multi-network
 /// communication).

@@ -19,6 +19,7 @@
 //! preserves packing order.
 
 use crate::config::HostModel;
+use crate::error::MadResult;
 use crate::flags::{RecvMode, SendMode};
 use crate::pool::{BufPool, PooledBuf};
 use crate::stats::Stats;
@@ -130,12 +131,13 @@ impl<'a> SendBmm<'a> {
 
     /// Queue or transmit one user block according to the policy and the
     /// block's emission mode.
-    pub fn pack(&mut self, data: &'a [u8], mode: SendMode) {
+    pub fn pack(&mut self, data: &'a [u8], mode: SendMode) -> MadResult<()> {
         match mode {
             SendMode::Later => {
                 // Defer the read to flush time, and everything after it.
                 self.pending.push(Block::Borrowed(data));
                 self.pending_has_later = true;
+                Ok(())
             }
             SendMode::Safer => {
                 let capture_by_processing = match self.policy {
@@ -146,11 +148,11 @@ impl<'a> SendBmm<'a> {
                     SendPolicy::Aggregate => false,
                 };
                 if capture_by_processing {
-                    self.pack_now(Block::Borrowed(data));
+                    self.pack_now(Block::Borrowed(data))
                 } else {
                     let owned = self.pool.checkout_from(data);
                     self.charge_copy(data.len());
-                    self.pack_now(Block::Pooled(owned));
+                    self.pack_now(Block::Pooled(owned))
                 }
             }
             SendMode::Cheaper => self.pack_now(Block::Borrowed(data)),
@@ -158,14 +160,14 @@ impl<'a> SendBmm<'a> {
     }
 
     /// Queue a library-owned block (e.g. a block that arrived as `Bytes`).
-    pub fn pack_owned(&mut self, data: Bytes) {
-        self.pack_now(Block::Owned(data));
+    pub fn pack_owned(&mut self, data: Bytes) -> MadResult<()> {
+        self.pack_now(Block::Owned(data))
     }
 
     /// Queue a library-owned pooled block (e.g. the internal message
     /// header, built directly in pool memory — no intermediate allocation).
-    pub fn pack_pooled(&mut self, data: PooledBuf) {
-        self.pack_now(Block::Pooled(data));
+    pub fn pack_pooled(&mut self, data: PooledBuf) -> MadResult<()> {
+        self.pack_now(Block::Pooled(data))
     }
 
     /// The pool this BMM captures into.
@@ -175,7 +177,7 @@ impl<'a> SendBmm<'a> {
 
     /// `send_SAFER` capture through a short-lived borrow: the data never
     /// outlives this call (copied, staged, or transmitted synchronously).
-    pub fn pack_safer_now(&mut self, data: &[u8]) {
+    pub fn pack_safer_now(&mut self, data: &[u8]) -> MadResult<()> {
         let capture_by_processing = match self.policy {
             SendPolicy::StaticCopy | SendPolicy::Eager => !self.pending_has_later,
             SendPolicy::Aggregate => false,
@@ -184,9 +186,10 @@ impl<'a> SendBmm<'a> {
             match self.policy {
                 SendPolicy::Eager => {
                     self.stats.record_borrowed(data.len());
-                    self.tm.send_buffer(self.dst, data);
+                    self.tm.send_buffer(self.dst, data)?;
                     self.stats.record_buffer_sent();
                     self.stats.record_tm_traffic(self.tm_id, data.len());
+                    Ok(())
                 }
                 SendPolicy::StaticCopy => self.stage(data),
                 SendPolicy::Aggregate => unreachable!(),
@@ -194,33 +197,37 @@ impl<'a> SendBmm<'a> {
         } else {
             let owned = self.pool.checkout_from(data);
             self.charge_copy(data.len());
-            self.pack_now(Block::Pooled(owned));
+            self.pack_now(Block::Pooled(owned))
         }
     }
 
-    fn pack_now(&mut self, block: Block<'a>) {
+    fn pack_now(&mut self, block: Block<'a>) -> MadResult<()> {
         if self.pending_has_later {
             // Preserve order behind the deferred LATER block.
             self.pending.push(block);
-            return;
+            return Ok(());
         }
         match self.policy {
             SendPolicy::Eager => {
                 if block.is_borrowed() {
                     self.stats.record_borrowed(block.as_slice().len());
                 }
-                self.tm.send_buffer(self.dst, block.as_slice());
+                self.tm.send_buffer(self.dst, block.as_slice())?;
                 self.stats.record_buffer_sent();
                 self.stats
                     .record_tm_traffic(self.tm_id, block.as_slice().len());
+                Ok(())
             }
-            SendPolicy::Aggregate => self.pending.push(block),
+            SendPolicy::Aggregate => {
+                self.pending.push(block);
+                Ok(())
+            }
             SendPolicy::StaticCopy => self.stage(block.as_slice()),
         }
     }
 
     /// Copy a block into static buffers, shipping each buffer as it fills.
-    fn stage(&mut self, mut data: &[u8]) {
+    fn stage(&mut self, mut data: &[u8]) -> MadResult<()> {
         while !data.is_empty() {
             if self.staged.is_none() {
                 self.staged = Some(self.tm.obtain_static_buffer());
@@ -235,14 +242,15 @@ impl<'a> SendBmm<'a> {
             if full {
                 let full = self.staged.take().expect("present");
                 self.stats.record_tm_traffic(self.tm_id, full.len());
-                self.tm.send_static_buffer(self.dst, full);
+                self.tm.send_static_buffer(self.dst, full)?;
                 self.stats.record_buffer_sent();
             }
         }
+        Ok(())
     }
 
     /// Commit: drain every queued block and partial buffer to the TM.
-    pub fn flush(&mut self) {
+    pub fn flush(&mut self) -> MadResult<()> {
         if self.pending_has_later || !self.pending.is_empty() {
             let pending = std::mem::take(&mut self.pending);
             self.pending_has_later = false;
@@ -252,7 +260,7 @@ impl<'a> SendBmm<'a> {
                         if b.is_borrowed() {
                             self.stats.record_borrowed(b.as_slice().len());
                         }
-                        self.tm.send_buffer(self.dst, b.as_slice());
+                        self.tm.send_buffer(self.dst, b.as_slice())?;
                         self.stats.record_buffer_sent();
                         self.stats.record_tm_traffic(self.tm_id, b.as_slice().len());
                     }
@@ -267,7 +275,7 @@ impl<'a> SendBmm<'a> {
                             self.stats.record_borrowed(b.as_slice().len());
                         }
                     }
-                    self.tm.send_gather(self.dst, &slices);
+                    self.tm.send_gather(self.dst, &slices)?;
                     if self.tm.caps().gather {
                         self.stats.record_gather();
                     }
@@ -276,7 +284,7 @@ impl<'a> SendBmm<'a> {
                 }
                 SendPolicy::StaticCopy => {
                     for b in &pending {
-                        self.stage(b.as_slice());
+                        self.stage(b.as_slice())?;
                     }
                 }
             }
@@ -286,11 +294,12 @@ impl<'a> SendBmm<'a> {
                 self.tm.release_static_buffer(buf);
             } else {
                 self.stats.record_tm_traffic(self.tm_id, buf.len());
-                self.tm.send_static_buffer(self.dst, buf);
+                self.tm.send_static_buffer(self.dst, buf)?;
                 self.stats.record_buffer_sent();
             }
         }
         self.stats.record_commit();
+        Ok(())
     }
 
     fn charge_copy(&self, len: usize) {
@@ -332,19 +341,22 @@ impl<'a> RecvBmm<'a> {
     }
 
     /// Register or satisfy one unpack destination.
-    pub fn unpack(&mut self, dst: &'a mut [u8], mode: RecvMode) {
+    pub fn unpack(&mut self, dst: &'a mut [u8], mode: RecvMode) -> MadResult<()> {
         match self.policy {
             SendPolicy::StaticCopy => {
                 // Extraction from an arrived protocol buffer is a local
                 // copy; both modes extract on the spot.
-                self.extract(dst);
+                self.extract(dst)
             }
             SendPolicy::Eager | SendPolicy::Aggregate => match mode {
                 RecvMode::Express => {
                     self.deferred.push(dst);
-                    self.checkout();
+                    self.checkout()
                 }
-                RecvMode::Cheaper => self.deferred.push(dst),
+                RecvMode::Cheaper => {
+                    self.deferred.push(dst);
+                    Ok(())
+                }
             },
         }
     }
@@ -353,16 +365,16 @@ impl<'a> RecvBmm<'a> {
     /// the `receive_EXPRESS` path usable before the message ends (length
     /// headers, the internal message header). Equivalent to a checkout with
     /// `dst` appended to the deferred list.
-    pub fn unpack_express_now(&mut self, dst: &mut [u8]) {
+    pub fn unpack_express_now(&mut self, dst: &mut [u8]) -> MadResult<()> {
         match self.policy {
             SendPolicy::StaticCopy => self.extract(dst),
             SendPolicy::Eager => {
                 for d in self.deferred.drain(..) {
                     self.stats.record_borrowed(d.len());
-                    self.tm.receive_buffer(self.src, d);
+                    self.tm.receive_buffer(self.src, d)?;
                 }
                 self.stats.record_borrowed(dst.len());
-                self.tm.receive_buffer(self.src, dst);
+                self.tm.receive_buffer(self.src, dst)
             }
             SendPolicy::Aggregate => {
                 let mut group: Vec<&mut [u8]> = self.deferred.drain(..).collect();
@@ -370,20 +382,20 @@ impl<'a> RecvBmm<'a> {
                 for d in &group {
                     self.stats.record_borrowed(d.len());
                 }
-                self.tm.receive_sub_buffer_group(self.src, &mut group);
+                self.tm.receive_sub_buffer_group(self.src, &mut group)
             }
         }
     }
 
     /// Fill `dst` from received static buffers, fetching as needed.
-    fn extract(&mut self, dst: &mut [u8]) {
+    fn extract(&mut self, dst: &mut [u8]) -> MadResult<()> {
         let mut filled = 0;
         while filled < dst.len() {
             if self.rx.as_ref().is_none_or(|(b, off)| *off >= b.len()) {
                 if let Some((old, _)) = self.rx.take() {
                     self.tm.release_static_buffer(old);
                 }
-                let fresh = self.tm.receive_static_buffer(self.src);
+                let fresh = self.tm.receive_static_buffer(self.src)?;
                 self.rx = Some((fresh, 0));
             }
             let (buf, off) = self.rx.as_mut().expect("just fetched");
@@ -396,15 +408,16 @@ impl<'a> RecvBmm<'a> {
         if filled > 0 {
             self.charge_copy(filled);
         }
+        Ok(())
     }
 
     /// Checkout: extract every deferred destination, in order.
-    pub fn checkout(&mut self) {
+    pub fn checkout(&mut self) -> MadResult<()> {
         match self.policy {
             SendPolicy::Eager => {
                 for d in self.deferred.drain(..) {
                     self.stats.record_borrowed(d.len());
-                    self.tm.receive_buffer(self.src, d);
+                    self.tm.receive_buffer(self.src, d)?;
                 }
             }
             SendPolicy::Aggregate => {
@@ -413,7 +426,7 @@ impl<'a> RecvBmm<'a> {
                     for d in &group {
                         self.stats.record_borrowed(d.len());
                     }
-                    self.tm.receive_sub_buffer_group(self.src, &mut group);
+                    self.tm.receive_sub_buffer_group(self.src, &mut group)?;
                 }
             }
             SendPolicy::StaticCopy => {
@@ -430,6 +443,7 @@ impl<'a> RecvBmm<'a> {
                 }
             }
         }
+        Ok(())
     }
 
     fn charge_copy(&self, len: usize) {

@@ -29,6 +29,7 @@
 
 use crate::bmm::{RecvBmm, SendBmm};
 use crate::config::HostModel;
+use crate::error::{MadError, MadResult};
 use crate::flags::{RecvMode, SendMode};
 use crate::pmm::Pmm;
 use crate::pool::{BufPool, PooledBuf};
@@ -69,8 +70,10 @@ pub struct Channel {
     open_tx: AtomicUsize,
     /// Incoming messages begun but not yet finalized.
     open_rx: AtomicUsize,
-    /// Optional message-path tracer (see [`crate::trace`]).
-    tracer: Tracer,
+    /// Optional message-path tracer (see [`crate::trace`]), shared with
+    /// the protocol drivers so TMs can record fault-recovery events
+    /// (retransmissions, credit timeouts) into the channel's stream.
+    tracer: Arc<Tracer>,
 }
 
 impl Channel {
@@ -89,6 +92,7 @@ impl Channel {
     /// creates one pool per channel and wires the same pool into the
     /// protocol drivers, so static-buffer traffic and generic-layer
     /// captures recycle the same slabs).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn with_shared_pool(
         name: String,
         pmm: Arc<dyn Pmm>,
@@ -97,6 +101,7 @@ impl Channel {
         host: HostModel,
         stats: Arc<Stats>,
         pool: BufPool,
+        tracer: Arc<Tracer>,
     ) -> Arc<Self> {
         Arc::new(Channel {
             name,
@@ -110,7 +115,7 @@ impl Channel {
             recv_seq: Mutex::new(HashMap::new()),
             open_tx: AtomicUsize::new(0),
             open_rx: AtomicUsize::new(0),
-            tracer: Tracer::new(),
+            tracer,
         })
     }
 
@@ -127,8 +132,24 @@ impl Channel {
         host: HostModel,
         stats: Arc<Stats>,
     ) -> Arc<Self> {
+        Self::with_pmm_traced(name, pmm, me, peers, host, stats, Arc::new(Tracer::new()))
+    }
+
+    /// [`with_pmm`](Self::with_pmm) sharing an externally created tracer,
+    /// so the protocol module underneath (e.g. the gateway's Generic TM)
+    /// can record failover events into the same stream the channel's
+    /// pack/unpack events land in.
+    pub fn with_pmm_traced(
+        name: String,
+        pmm: Arc<dyn Pmm>,
+        me: NodeId,
+        peers: Vec<NodeId>,
+        host: HostModel,
+        stats: Arc<Stats>,
+        tracer: Arc<Tracer>,
+    ) -> Arc<Self> {
         let pool = BufPool::new(Arc::clone(&stats));
-        Self::with_shared_pool(name, pmm, me, peers, host, stats, pool)
+        Self::with_shared_pool(name, pmm, me, peers, host, stats, pool, tracer)
     }
 
     pub fn name(&self) -> &str {
@@ -179,8 +200,22 @@ impl Channel {
     /// Initiate a new outgoing message to `dst` (paper: `mad_begin_packing`).
     ///
     /// # Panics
-    /// Panics if `dst` is not a member of this channel or is this node.
+    /// Panics if `dst` is not a member of this channel or is this node —
+    /// and on transport failure while sending the message header; use
+    /// [`begin_packing_checked`](Self::begin_packing_checked) to receive
+    /// that failure as a value instead.
     pub fn begin_packing<'a>(&self, dst: NodeId) -> OutgoingMessage<'_, 'a> {
+        match self.begin_packing_checked(dst) {
+            Ok(msg) => msg,
+            Err(e) => panic!("begin_packing on channel {:?} failed: {e}", self.name),
+        }
+    }
+
+    /// [`begin_packing`](Self::begin_packing) that surfaces transport
+    /// failures (the internal header is transmitted eagerly, so a dead
+    /// peer is detected here). Membership violations still panic: they
+    /// are API misuse, not fabric faults.
+    pub fn begin_packing_checked<'a>(&self, dst: NodeId) -> MadResult<OutgoingMessage<'_, 'a>> {
         assert!(
             self.peers.contains(&dst),
             "node {dst} is not a member of channel {:?}",
@@ -233,8 +268,11 @@ impl Channel {
             h[12..HEADER_LEN].fill(0);
         }
         header.advance(HEADER_LEN);
-        msg.pack_internal(header);
-        msg
+        if let Err(e) = msg.pack_internal(header) {
+            msg.abort();
+            return Err(e);
+        }
+        Ok(msg)
     }
 
     /// Has some peer started sending a message on this channel? (A `true`
@@ -257,7 +295,25 @@ impl Channel {
     /// Initiate reception of the next incoming message on this channel
     /// (paper: `mad_begin_unpacking`). Blocks until a message arrives;
     /// the returned connection identifies the sender.
+    ///
+    /// # Panics
+    /// Panics on a corrupt or out-of-sequence header; use
+    /// [`begin_unpacking_checked`](Self::begin_unpacking_checked) to
+    /// receive those conditions as [`MadError`] values instead.
     pub fn begin_unpacking<'a>(&self) -> IncomingMessage<'_, 'a> {
+        match self.begin_unpacking_checked() {
+            Ok(msg) => msg,
+            Err(e) => panic!("begin_unpacking on channel {:?} failed: {e}", self.name),
+        }
+    }
+
+    /// [`begin_unpacking`](Self::begin_unpacking) that surfaces wire-level
+    /// damage — bad header magic, a source mismatch, or a sequence gap —
+    /// as [`MadError::CorruptStream`] (and transport failures as their
+    /// respective errors) instead of panicking. On error the incoming
+    /// message is abandoned and the channel returns to the idle receive
+    /// state.
+    pub fn begin_unpacking_checked<'a>(&self) -> MadResult<IncomingMessage<'_, 'a>> {
         assert_eq!(
             self.open_rx.fetch_add(1, Ordering::AcqRel),
             0,
@@ -275,35 +331,50 @@ impl Channel {
             bmm: None,
             done: false,
         };
+        match self.check_header(&mut msg) {
+            Ok(()) => Ok(msg),
+            Err(e) => {
+                msg.abort();
+                Err(e)
+            }
+        }
+    }
+
+    /// Read and validate the internal message header of `msg`.
+    fn check_header(&self, msg: &mut IncomingMessage<'_, '_>) -> MadResult<()> {
+        let src = msg.src;
         let mut header = [0u8; HEADER_LEN];
-        msg.unpack_internal(&mut header);
+        msg.unpack_internal(&mut header)?;
         // If the wait went through an interrupt path, the wakeup latency
         // counts from the arrival we just synchronized with.
         time::advance(crate::polling::take_pending_wakeup_charge());
         let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
-        assert_eq!(
-            magic, HEADER_MAGIC,
-            "corrupt message header on channel {:?} (asymmetric pack/unpack?)",
-            self.name
-        );
+        if magic != HEADER_MAGIC {
+            return Err(MadError::corrupt(format!(
+                "corrupt message header on channel {:?} (asymmetric pack/unpack?)",
+                self.name
+            )));
+        }
         let hdr_src = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
-        assert_eq!(
-            hdr_src, src,
-            "header source does not match announcing connection on {:?}",
-            self.name
-        );
+        if hdr_src != src {
+            return Err(MadError::corrupt(format!(
+                "header source does not match announcing connection on {:?}",
+                self.name
+            )));
+        }
         let seq = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
         {
             let mut m = self.recv_seq.lock();
             let expect = m.entry(src).or_insert(0);
-            assert_eq!(
-                seq, *expect,
-                "message sequence gap from node {src} on channel {:?}",
-                self.name
-            );
+            if seq != *expect {
+                return Err(MadError::corrupt(format!(
+                    "message sequence gap from node {src} on channel {:?}",
+                    self.name
+                )));
+            }
             *expect += 1;
         }
-        msg
+        Ok(())
     }
 }
 
@@ -331,11 +402,31 @@ impl<'c, 'a> OutgoingMessage<'c, 'a> {
     }
 
     /// Append one block to the message (paper: `mad_pack`).
+    ///
+    /// # Panics
+    /// Panics on transport failure (see [`try_pack`](Self::try_pack)).
     pub fn pack(&mut self, data: &'a [u8], smode: SendMode, rmode: RecvMode) {
-        assert!(!self.done, "pack after end_packing");
+        if let Err(e) = self.try_pack(data, smode, rmode) {
+            panic!("pack on channel {:?} failed: {e}", self.chan.name);
+        }
+    }
+
+    /// [`pack`](Self::pack) that surfaces transport failure as a value.
+    /// On error the message is abandoned (the channel returns to the
+    /// no-open-message state); further operations on it panic.
+    pub fn try_pack(&mut self, data: &'a [u8], smode: SendMode, rmode: RecvMode) -> MadResult<()> {
+        let r = self.pack_inner(data, smode, rmode);
+        if r.is_err() {
+            self.abort();
+        }
+        r
+    }
+
+    fn pack_inner(&mut self, data: &'a [u8], smode: SendMode, rmode: RecvMode) -> MadResult<()> {
+        assert!(!self.done, "pack after end_packing (or after a failed pack)");
         time::advance(VDuration::from_micros_f64(self.chan.host.pack_op_us));
         let tm = self.chan.pmm.select(data.len(), smode, rmode);
-        self.switch_to(tm);
+        self.switch_to(tm)?;
         self.chan.tracer.record(TraceEvent::Pack {
             len: data.len(),
             smode,
@@ -343,13 +434,14 @@ impl<'c, 'a> OutgoingMessage<'c, 'a> {
             tm,
         });
         let bmm = self.bmm.as_mut().expect("switched");
-        bmm.pack(data, smode);
+        bmm.pack(data, smode)?;
         // An EXPRESS block must be extractable as soon as the peer unpacks
         // it, so it cannot linger in the aggregation queue — unless the
         // caller forbade reading it before commit (LATER).
         if rmode == RecvMode::Express && smode != SendMode::Later {
-            bmm.flush();
+            bmm.flush()?;
         }
+        Ok(())
     }
 
     /// Pack a block with `send_SAFER` semantics through a short-lived
@@ -357,36 +449,53 @@ impl<'c, 'a> OutgoingMessage<'c, 'a> {
     /// synchronous transmission), so the caller may modify or free it as
     /// soon as this returns — the ergonomic point of `send_SAFER`.
     pub fn pack_safer(&mut self, data: &[u8], rmode: RecvMode) {
-        assert!(!self.done, "pack after end_packing");
-        time::advance(VDuration::from_micros_f64(self.chan.host.pack_op_us));
-        self.switch_to(self.chan.pmm.select(data.len(), SendMode::Safer, rmode));
-        let bmm = self.bmm.as_mut().expect("switched");
-        bmm.pack_safer_now(data);
-        if rmode == RecvMode::Express {
-            bmm.flush();
+        if let Err(e) = self.try_pack_safer(data, rmode) {
+            panic!("pack_safer on channel {:?} failed: {e}", self.chan.name);
         }
     }
 
+    /// [`pack_safer`](Self::pack_safer) that surfaces transport failure
+    /// as a value (same abandonment semantics as [`try_pack`](Self::try_pack)).
+    pub fn try_pack_safer(&mut self, data: &[u8], rmode: RecvMode) -> MadResult<()> {
+        let r = self.pack_safer_inner(data, rmode);
+        if r.is_err() {
+            self.abort();
+        }
+        r
+    }
+
+    fn pack_safer_inner(&mut self, data: &[u8], rmode: RecvMode) -> MadResult<()> {
+        assert!(!self.done, "pack after end_packing (or after a failed pack)");
+        time::advance(VDuration::from_micros_f64(self.chan.host.pack_op_us));
+        self.switch_to(self.chan.pmm.select(data.len(), SendMode::Safer, rmode))?;
+        let bmm = self.bmm.as_mut().expect("switched");
+        bmm.pack_safer_now(data)?;
+        if rmode == RecvMode::Express {
+            bmm.flush()?;
+        }
+        Ok(())
+    }
+
     /// Pack a library-internal block (always `(CHEAPER, EXPRESS)`).
-    fn pack_internal(&mut self, data: PooledBuf) {
+    fn pack_internal(&mut self, data: PooledBuf) -> MadResult<()> {
         self.switch_to(
             self.chan
                 .pmm
                 .select(data.len(), SendMode::Cheaper, RecvMode::Express),
-        );
+        )?;
         let bmm = self.bmm.as_mut().expect("switched");
-        bmm.pack_pooled(data);
-        bmm.flush();
+        bmm.pack_pooled(data)?;
+        bmm.flush()
     }
 
-    fn switch_to(&mut self, tm: TmId) {
+    fn switch_to(&mut self, tm: TmId) -> MadResult<()> {
         if self.cur_tm == Some(tm) {
-            return;
+            return Ok(());
         }
         // Commit the previous BMM so delivery order is preserved across
         // transfer methods (paper §4.1).
         if let Some(mut old) = self.bmm.take() {
-            old.flush();
+            old.flush()?;
             self.chan.tracer.record(TraceEvent::CommitOnSwitch {
                 from: self.cur_tm.expect("old BMM implies a current TM"),
                 to: tm,
@@ -402,28 +511,59 @@ impl<'c, 'a> OutgoingMessage<'c, 'a> {
             Arc::clone(&self.chan.stats),
             self.chan.pool.clone(),
         ));
+        Ok(())
+    }
+
+    /// Abandon the message after a transport error: drop queued blocks
+    /// and return the channel to the no-open-message state so the caller
+    /// can keep using it (e.g. toward a different peer).
+    fn abort(&mut self) {
+        if !self.done {
+            self.done = true;
+            self.bmm = None;
+            self.cur_tm = None;
+            self.chan.open_tx.fetch_sub(1, Ordering::AcqRel);
+        }
     }
 
     /// Finalize the message (paper: `mad_end_packing`): every packed block
     /// is guaranteed flushed to the network when this returns.
-    pub fn end_packing(mut self) {
+    ///
+    /// # Panics
+    /// Panics on transport failure (see
+    /// [`try_end_packing`](Self::try_end_packing)).
+    pub fn end_packing(self) {
+        let name = self.chan.name.clone();
+        if let Err(e) = self.try_end_packing() {
+            panic!("end_packing on channel {name:?} failed: {e}");
+        }
+    }
+
+    /// [`end_packing`](Self::end_packing) that surfaces transport failure
+    /// as a value. Win or lose, the message is finalized: the channel
+    /// accepts a new `begin_packing` afterwards.
+    pub fn try_end_packing(mut self) -> MadResult<()> {
+        let mut result = Ok(());
         if let Some(mut bmm) = self.bmm.take() {
-            bmm.flush();
+            result = bmm.flush();
         }
         time::advance(VDuration::from_micros_f64(self.chan.host.end_op_us));
         self.chan.tracer.record(TraceEvent::EndPacking);
-        if let Some(at_begin) = self.stats_at_begin.take() {
-            let d = self.chan.stats.snapshot().since(&at_begin);
-            self.chan.tracer.record(TraceEvent::MessageStats {
-                copied_bytes: d.copied_bytes,
-                borrowed_bytes: d.borrowed_bytes,
-                pool_hits: d.pool_hits,
-                pool_misses: d.pool_misses,
-            });
+        if result.is_ok() {
+            if let Some(at_begin) = self.stats_at_begin.take() {
+                let d = self.chan.stats.snapshot().since(&at_begin);
+                self.chan.tracer.record(TraceEvent::MessageStats {
+                    copied_bytes: d.copied_bytes,
+                    borrowed_bytes: d.borrowed_bytes,
+                    pool_hits: d.pool_hits,
+                    pool_misses: d.pool_misses,
+                });
+            }
+            self.chan.stats.record_message();
         }
-        self.chan.stats.record_message();
         self.chan.open_tx.fetch_sub(1, Ordering::AcqRel);
         self.done = true;
+        result
     }
 }
 
@@ -449,18 +589,51 @@ impl<'c, 'a> IncomingMessage<'c, 'a> {
     /// With `receive_EXPRESS` the data is in `dst` when this returns; with
     /// `receive_CHEAPER` extraction may be deferred until a later express
     /// block, a TM switch, or `end_unpacking`.
+    /// # Panics
+    /// Panics on transport failure (see [`try_unpack`](Self::try_unpack)).
     pub fn unpack(&mut self, dst: &'a mut [u8], smode: SendMode, rmode: RecvMode) {
-        assert!(!self.done, "unpack after end_unpacking");
+        if let Err(e) = self.try_unpack(dst, smode, rmode) {
+            panic!("unpack on channel {:?} failed: {e}", self.chan.name);
+        }
+    }
+
+    /// [`unpack`](Self::unpack) that surfaces transport failure as a
+    /// value. On error the message is abandoned (deferred destinations
+    /// are dropped unfilled) and the channel returns to the idle receive
+    /// state; further operations on the message panic.
+    pub fn try_unpack(
+        &mut self,
+        dst: &'a mut [u8],
+        smode: SendMode,
+        rmode: RecvMode,
+    ) -> MadResult<()> {
+        let r = self.unpack_inner(dst, smode, rmode);
+        if r.is_err() {
+            self.abort();
+        }
+        r
+    }
+
+    fn unpack_inner(
+        &mut self,
+        dst: &'a mut [u8],
+        smode: SendMode,
+        rmode: RecvMode,
+    ) -> MadResult<()> {
+        assert!(
+            !self.done,
+            "unpack after end_unpacking (or after a failed unpack)"
+        );
         time::advance(VDuration::from_micros_f64(self.chan.host.pack_op_us));
         let tm = self.chan.pmm.select(dst.len(), smode, rmode);
-        self.switch_to(tm);
+        self.switch_to(tm)?;
         self.chan.tracer.record(TraceEvent::Unpack {
             len: dst.len(),
             smode,
             rmode,
             tm,
         });
-        self.bmm.as_mut().expect("switched").unpack(dst, rmode);
+        self.bmm.as_mut().expect("switched").unpack(dst, rmode)
     }
 
     /// Extract one `receive_EXPRESS` block through a short-lived borrow:
@@ -468,36 +641,56 @@ impl<'c, 'a> IncomingMessage<'c, 'a> {
     /// call, so the value can steer the following unpacks (the paper's
     /// Fig. 1 pattern: read a length header, allocate, unpack the array).
     pub fn unpack_express(&mut self, dst: &mut [u8], smode: SendMode) {
-        assert!(!self.done, "unpack after end_unpacking");
+        if let Err(e) = self.try_unpack_express(dst, smode) {
+            panic!("unpack_express on channel {:?} failed: {e}", self.chan.name);
+        }
+    }
+
+    /// [`unpack_express`](Self::unpack_express) that surfaces transport
+    /// failure as a value (same abandonment semantics as
+    /// [`try_unpack`](Self::try_unpack)).
+    pub fn try_unpack_express(&mut self, dst: &mut [u8], smode: SendMode) -> MadResult<()> {
+        let r = self.unpack_express_inner(dst, smode);
+        if r.is_err() {
+            self.abort();
+        }
+        r
+    }
+
+    fn unpack_express_inner(&mut self, dst: &mut [u8], smode: SendMode) -> MadResult<()> {
+        assert!(
+            !self.done,
+            "unpack after end_unpacking (or after a failed unpack)"
+        );
         time::advance(VDuration::from_micros_f64(self.chan.host.pack_op_us));
         let tm = self.chan.pmm.select(dst.len(), smode, RecvMode::Express);
-        self.switch_to(tm);
+        self.switch_to(tm)?;
         self.chan.tracer.record(TraceEvent::Unpack {
             len: dst.len(),
             smode,
             rmode: RecvMode::Express,
             tm,
         });
-        self.bmm.as_mut().expect("switched").unpack_express_now(dst);
+        self.bmm.as_mut().expect("switched").unpack_express_now(dst)
     }
 
     /// Unpack a library-internal block (mirror of `pack_internal`).
-    fn unpack_internal(&mut self, dst: &mut [u8]) {
+    fn unpack_internal(&mut self, dst: &mut [u8]) -> MadResult<()> {
         self.switch_to(
             self.chan
                 .pmm
                 .select(dst.len(), SendMode::Cheaper, RecvMode::Express),
-        );
-        self.bmm.as_mut().expect("switched").unpack_express_now(dst);
+        )?;
+        self.bmm.as_mut().expect("switched").unpack_express_now(dst)
     }
 
-    fn switch_to(&mut self, tm: TmId) {
+    fn switch_to(&mut self, tm: TmId) -> MadResult<()> {
         if self.cur_tm == Some(tm) {
-            return;
+            return Ok(());
         }
         // Checkout the previous BMM (mirror of the sender's commit).
         if let Some(mut old) = self.bmm.take() {
-            old.checkout();
+            old.checkout()?;
             self.chan.tracer.record(TraceEvent::CheckoutOnSwitch {
                 from: self.cur_tm.expect("old BMM implies a current TM"),
                 to: tm,
@@ -511,18 +704,46 @@ impl<'c, 'a> IncomingMessage<'c, 'a> {
             self.chan.host,
             Arc::clone(&self.chan.stats),
         ));
+        Ok(())
+    }
+
+    /// Abandon the message after a transport error: return the channel to
+    /// the idle receive state so the caller can keep using it.
+    fn abort(&mut self) {
+        if !self.done {
+            self.done = true;
+            self.bmm = None;
+            self.cur_tm = None;
+            self.chan.open_rx.fetch_sub(1, Ordering::AcqRel);
+        }
     }
 
     /// Finalize reception (paper: `mad_end_unpacking`): all blocks —
     /// including deferred `receive_CHEAPER` ones — are available when this
     /// returns.
-    pub fn end_unpacking(mut self) {
+    ///
+    /// # Panics
+    /// Panics on transport failure (see
+    /// [`try_end_unpacking`](Self::try_end_unpacking)).
+    pub fn end_unpacking(self) {
+        let name = self.chan.name.clone();
+        if let Err(e) = self.try_end_unpacking() {
+            panic!("end_unpacking on channel {name:?} failed: {e}");
+        }
+    }
+
+    /// [`end_unpacking`](Self::end_unpacking) that surfaces transport
+    /// failure as a value. Win or lose, reception is finalized: the
+    /// channel accepts a new `begin_unpacking` afterwards.
+    pub fn try_end_unpacking(mut self) -> MadResult<()> {
+        let mut result = Ok(());
         if let Some(mut bmm) = self.bmm.take() {
-            bmm.checkout();
+            result = bmm.checkout();
         }
         time::advance(VDuration::from_micros_f64(self.chan.host.end_op_us));
         self.chan.tracer.record(TraceEvent::EndUnpacking);
         self.chan.open_rx.fetch_sub(1, Ordering::AcqRel);
         self.done = true;
+        result
     }
 }

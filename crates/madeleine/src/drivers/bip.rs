@@ -13,23 +13,30 @@
 
 use crate::bmm::SendPolicy;
 use crate::config::HostModel;
+use crate::error::{MadError, MadResult};
 use crate::flags::{RecvMode, SendMode};
 use crate::pmm::Pmm;
 use crate::polling::PollPolicy;
 use crate::pool::BufPool;
 use crate::stats::Stats;
 use crate::tm::{StaticBuf, TmCaps, TmId, TransmissionModule};
+use crate::trace::{TraceEvent, Tracer};
 use madsim_net::stacks::bip::{Bip, BIP_SHORT_MAX, BIP_SHORT_RING};
 use madsim_net::world::Adapter;
 use madsim_net::NodeId;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Blocks shorter than this ride the short TM (BIP's own boundary).
 pub const SHORT_LIMIT: usize = BIP_SHORT_MAX;
 /// Return credits every this many consumed buffers.
 const CREDIT_BATCH: u64 = 4;
+/// Bounded wait for credit returns / rendezvous handshakes on a
+/// fault-armed fabric. BIP has no retransmission: when this expires the
+/// channel is reported down rather than silently hanging.
+const FAULT_WAIT: Duration = Duration::from_millis(2_000);
 
 const SUB_DATA: u64 = 0;
 const SUB_CREDIT: u64 = 1;
@@ -40,6 +47,7 @@ fn tag(channel_id: u32, sub: u64) -> u64 {
 }
 
 /// Build the BIP PMM for one channel.
+#[allow(clippy::too_many_arguments)]
 pub fn build(
     adapter: &Adapter,
     channel_id: u32,
@@ -48,6 +56,7 @@ pub fn build(
     poll: PollPolicy,
     timing: Option<madsim_net::stacks::bip::BipTiming>,
     pool: BufPool,
+    tracer: Arc<Tracer>,
 ) -> Arc<dyn Pmm> {
     let bip = match timing {
         Some(t) => Bip::with_timing(adapter, t),
@@ -59,13 +68,16 @@ pub fn build(
         credit_tag: tag(channel_id, SUB_CREDIT),
         flow: Mutex::new(HashMap::new()),
         host,
-        stats,
+        stats: Arc::clone(&stats),
         pool,
+        tracer: Arc::clone(&tracer),
     });
     let long: Arc<dyn TransmissionModule> = Arc::new(BipLongTm {
         bip: bip.clone(),
         long_tag: tag(channel_id, SUB_LONG),
         cts_ahead: Mutex::new(HashMap::new()),
+        stats,
+        tracer,
     });
     Arc::new(BipPmm {
         bip,
@@ -134,6 +146,16 @@ impl Default for FlowState {
     }
 }
 
+/// Parse a credit-return packet, surfacing truncation as stream damage
+/// instead of panicking.
+fn credit_value(pkt: &[u8]) -> MadResult<usize> {
+    let bytes: [u8; 4] = pkt
+        .get(..4)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| MadError::corrupt("BIP credit packet shorter than 4 bytes"))?;
+    Ok(u32::from_le_bytes(bytes) as usize)
+}
+
 struct BipShortTm {
     bip: Bip,
     data_tag: u64,
@@ -142,31 +164,59 @@ struct BipShortTm {
     host: HostModel,
     stats: Arc<Stats>,
     pool: BufPool,
+    tracer: Arc<Tracer>,
 }
 
 impl BipShortTm {
     /// Absorb any credit-return packets already queued from `peer`.
-    fn drain_credits(&self, peer: NodeId) {
+    fn drain_credits(&self, peer: NodeId) -> MadResult<()> {
         while let Some(pkt) = self.bip.try_recv_short_from(peer, self.credit_tag) {
-            let n = u32::from_le_bytes(pkt[..4].try_into().expect("4-byte credit")) as usize;
+            let n = credit_value(&pkt)?;
             self.flow.lock().entry(peer).or_default().credits += n;
+        }
+        Ok(())
+    }
+
+    /// Report an expired bounded wait on `peer`: count it, trace it, and
+    /// name the condition (dead peer vs. merely down channel).
+    fn wait_expired(&self, peer: NodeId) -> MadError {
+        self.stats.record_link_timeout();
+        self.tracer.record(TraceEvent::CreditTimeout { peer });
+        let me = self.bip.node();
+        let unreachable = self
+            .bip
+            .adapter()
+            .faults()
+            .is_some_and(|f| !f.reachable(me, peer));
+        if unreachable {
+            MadError::PeerUnreachable { peer }
+        } else {
+            MadError::ChannelDown
         }
     }
 
-    fn take_credit(&self, peer: NodeId) {
+    fn take_credit(&self, peer: NodeId) -> MadResult<()> {
         loop {
-            self.drain_credits(peer);
+            self.drain_credits(peer)?;
             {
                 let mut flow = self.flow.lock();
                 let st = flow.entry(peer).or_default();
                 if st.credits > 0 {
                     st.credits -= 1;
-                    return;
+                    return Ok(());
                 }
             }
-            // Out of credits: block until the receiver returns some.
-            let pkt = self.bip.recv_short_from(peer, self.credit_tag);
-            let n = u32::from_le_bytes(pkt[..4].try_into().expect("4-byte credit")) as usize;
+            // Out of credits: block until the receiver returns some. On a
+            // fault-armed fabric the wait is bounded — a vanished credit
+            // source marks the channel down instead of hanging forever.
+            let pkt = if self.bip.adapter().faulty() {
+                self.bip
+                    .recv_short_from_timeout(peer, self.credit_tag, FAULT_WAIT)
+                    .ok_or_else(|| self.wait_expired(peer))?
+            } else {
+                self.bip.recv_short_from(peer, self.credit_tag)
+            };
+            let n = credit_value(&pkt)?;
             self.flow.lock().entry(peer).or_default().credits += n;
         }
     }
@@ -204,7 +254,7 @@ impl TransmissionModule for BipShortTm {
         }
     }
 
-    fn send_buffer(&self, dst: NodeId, data: &[u8]) {
+    fn send_buffer(&self, dst: NodeId, data: &[u8]) -> MadResult<()> {
         // Dynamic entry point: copy through a static buffer (kept for
         // completeness; the StaticCopy BMM normally uses the static path).
         let mut buf = self.obtain_static_buffer();
@@ -214,16 +264,17 @@ impl TransmissionModule for BipShortTm {
         buf.advance(n);
         madsim_net::time::advance(self.host.memcpy(n));
         self.stats.record_tm_copy(n);
-        self.send_static_buffer(dst, buf);
+        self.send_static_buffer(dst, buf)
     }
 
-    fn send_static_buffer(&self, dst: NodeId, buf: StaticBuf) {
-        self.take_credit(dst);
+    fn send_static_buffer(&self, dst: NodeId, buf: StaticBuf) -> MadResult<()> {
+        self.take_credit(dst)?;
         self.bip.send_short(dst, self.data_tag, buf.filled());
+        Ok(())
     }
 
-    fn receive_buffer(&self, src: NodeId, dst: &mut [u8]) {
-        let buf = self.receive_static_buffer(src);
+    fn receive_buffer(&self, src: NodeId, dst: &mut [u8]) -> MadResult<()> {
+        let buf = self.receive_static_buffer(src)?;
         assert_eq!(
             buf.len(),
             dst.len(),
@@ -232,12 +283,21 @@ impl TransmissionModule for BipShortTm {
         dst.copy_from_slice(buf.filled());
         madsim_net::time::advance(self.host.memcpy(dst.len()));
         self.stats.record_tm_copy(dst.len());
+        Ok(())
     }
 
-    fn receive_static_buffer(&self, src: NodeId) -> StaticBuf {
-        let data = self.bip.recv_short_from(src, self.data_tag);
+    fn receive_static_buffer(&self, src: NodeId) -> MadResult<StaticBuf> {
+        // The announcing header already arrived on this tag, so the data
+        // wait is bounded on a fault-armed fabric too.
+        let data = if self.bip.adapter().faulty() {
+            self.bip
+                .recv_short_from_timeout(src, self.data_tag, FAULT_WAIT)
+                .ok_or_else(|| self.wait_expired(src))?
+        } else {
+            self.bip.recv_short_from(src, self.data_tag)
+        };
         self.account_consumed(src);
-        StaticBuf::shared(data, 0)
+        Ok(StaticBuf::shared(data, 0))
     }
 
     fn obtain_static_buffer(&self) -> StaticBuf {
@@ -251,6 +311,23 @@ struct BipLongTm {
     long_tag: u64,
     /// CTSs posted ahead of their receive_buffer, per peer.
     cts_ahead: Mutex<HashMap<NodeId, usize>>,
+    stats: Arc<Stats>,
+    tracer: Arc<Tracer>,
+}
+
+impl BipLongTm {
+    /// Lift a rendezvous failure into the taxonomy: an expired handshake
+    /// wait means the channel is down (BIP has no retransmission).
+    fn rendezvous_err(&self, e: madsim_net::LinkError, peer: NodeId) -> MadError {
+        match e {
+            madsim_net::LinkError::PeerDead => MadError::PeerUnreachable { peer },
+            madsim_net::LinkError::Timeout => {
+                self.stats.record_link_timeout();
+                self.tracer.record(TraceEvent::CreditTimeout { peer });
+                MadError::ChannelDown
+            }
+        }
+    }
 }
 
 impl TransmissionModule for BipLongTm {
@@ -266,15 +343,22 @@ impl TransmissionModule for BipLongTm {
         }
     }
 
-    fn send_buffer(&self, dst: NodeId, data: &[u8]) {
+    fn send_buffer(&self, dst: NodeId, data: &[u8]) -> MadResult<()> {
         // Rendezvous: blocks until the receiver posts; zero software copies
         // (the `copy_from_slice` below stages the simulated wire transfer —
         // real BIP DMAs straight from this user memory).
-        self.bip
-            .send_long(dst, self.long_tag, bytes::Bytes::copy_from_slice(data));
+        let payload = bytes::Bytes::copy_from_slice(data);
+        if self.bip.adapter().faulty() {
+            self.bip
+                .try_send_long(dst, self.long_tag, payload, FAULT_WAIT)
+                .map_err(|e| self.rendezvous_err(e, dst))
+        } else {
+            self.bip.send_long(dst, self.long_tag, payload);
+            Ok(())
+        }
     }
 
-    fn receive_buffer(&self, src: NodeId, dst: &mut [u8]) {
+    fn receive_buffer(&self, src: NodeId, dst: &mut [u8]) -> MadResult<()> {
         let posted = {
             let mut m = self.cts_ahead.lock();
             match m.get_mut(&src) {
@@ -285,12 +369,20 @@ impl TransmissionModule for BipLongTm {
                 _ => false,
             }
         };
-        let n = if posted {
+        let n = if self.bip.adapter().faulty() {
+            if !posted {
+                self.bip.post_cts(src, self.long_tag);
+            }
+            self.bip
+                .recv_long_posted_timeout(src, self.long_tag, dst, FAULT_WAIT)
+                .map_err(|e| self.rendezvous_err(e, src))?
+        } else if posted {
             self.bip.recv_long_posted(src, self.long_tag, dst)
         } else {
             self.bip.recv_long(src, self.long_tag, dst)
         };
         assert_eq!(n, dst.len(), "long TM receive length mismatch");
+        Ok(())
     }
 
     fn prefetch(&self, src: NodeId) {

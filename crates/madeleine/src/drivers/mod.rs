@@ -12,6 +12,7 @@ use crate::config::{Config, HostModel, Protocol};
 use crate::pmm::Pmm;
 use crate::pool::BufPool;
 use crate::stats::Stats;
+use crate::trace::Tracer;
 use madsim_net::world::{Adapter, NetKind};
 use std::sync::Arc;
 
@@ -22,6 +23,11 @@ use std::sync::Arc;
 /// `pool` is the channel's buffer pool: static-buffer protocols (BIP
 /// short, VIA, SBP) draw their send-side buffers from it so obtain/release
 /// cycles recycle warm slabs instead of allocating.
+///
+/// `tracer` is the channel's event tracer: on a fault-armed fabric the
+/// drivers record recovery events (retransmissions, credit timeouts)
+/// into it alongside the channel's own pack/unpack stream.
+#[allow(clippy::too_many_arguments)]
 pub fn build_pmm(
     protocol: Protocol,
     adapter: &Adapter,
@@ -30,12 +36,21 @@ pub fn build_pmm(
     host: HostModel,
     stats: Arc<Stats>,
     pool: BufPool,
+    tracer: Arc<Tracer>,
 ) -> Arc<dyn Pmm> {
     let poll = cfg.poll.0;
     match protocol {
         Protocol::Tcp => {
             assert_eq!(adapter.kind(), NetKind::Ethernet, "TCP needs Ethernet");
-            tcp::build(adapter, channel_id, host, stats, poll, cfg.timings.tcp)
+            tcp::build(
+                adapter,
+                channel_id,
+                host,
+                stats,
+                poll,
+                cfg.timings.tcp,
+                tracer,
+            )
         }
         Protocol::Bip => {
             assert_eq!(adapter.kind(), NetKind::Myrinet, "BIP needs Myrinet");
@@ -47,6 +62,7 @@ pub fn build_pmm(
                 poll,
                 cfg.timings.bip,
                 pool,
+                tracer,
             )
         }
         Protocol::Sisci => {
@@ -57,15 +73,17 @@ pub fn build_pmm(
                 cfg.enable_sci_dma,
                 poll,
                 cfg.timings.sisci,
+                stats,
+                tracer,
             )
         }
         Protocol::Via => {
             assert_eq!(adapter.kind(), NetKind::ViaSan, "VIA needs a SAN");
-            via::build(adapter, channel_id, poll, cfg.timings.via, pool)
+            via::build(adapter, channel_id, poll, cfg.timings.via, pool, stats, tracer)
         }
         Protocol::Sbp => {
             assert_eq!(adapter.kind(), NetKind::Ethernet, "SBP needs Ethernet");
-            sbp::build(adapter, channel_id, poll, cfg.timings.sbp, pool)
+            sbp::build(adapter, channel_id, poll, cfg.timings.sbp, pool, stats, tracer)
         }
     }
 }

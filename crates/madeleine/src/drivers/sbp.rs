@@ -8,14 +8,17 @@
 //! reachable in tests.
 
 use crate::bmm::SendPolicy;
+use crate::error::{MadError, MadResult};
 use crate::flags::{RecvMode, SendMode};
 use crate::pmm::Pmm;
 use crate::polling::PollPolicy;
 use crate::pool::BufPool;
+use crate::stats::Stats;
 use crate::tm::{StaticBuf, TmCaps, TmId, TransmissionModule};
+use crate::trace::{TraceEvent, Tracer};
 use madsim_net::stacks::sbp::{Sbp, SBP_BUFFER_SIZE};
 use madsim_net::world::Adapter;
-use madsim_net::NodeId;
+use madsim_net::{LinkError, NodeId};
 use std::sync::Arc;
 
 fn tag(channel_id: u32) -> u64 {
@@ -29,6 +32,8 @@ pub fn build(
     poll: PollPolicy,
     timing: Option<madsim_net::stacks::sbp::SbpTiming>,
     pool: BufPool,
+    stats: Arc<Stats>,
+    tracer: Arc<Tracer>,
 ) -> Arc<dyn Pmm> {
     let sbp = match timing {
         Some(t) => Sbp::with_timing(adapter, t),
@@ -38,6 +43,8 @@ pub fn build(
         sbp: sbp.clone(),
         tag: tag(channel_id),
         pool,
+        stats,
+        tracer,
     });
     Arc::new(SbpPmm {
         sbp,
@@ -84,6 +91,19 @@ struct SbpTm {
     sbp: Sbp,
     tag: u64,
     pool: BufPool,
+    stats: Arc<Stats>,
+    tracer: Arc<Tracer>,
+}
+
+impl SbpTm {
+    /// Lift a fabric link error into the taxonomy, counting timeouts.
+    fn link_err(&self, e: LinkError, peer: NodeId) -> MadError {
+        if e == LinkError::Timeout {
+            self.stats.record_link_timeout();
+            self.tracer.record(TraceEvent::CreditTimeout { peer });
+        }
+        MadError::from_link(e, peer)
+    }
 }
 
 impl TransmissionModule for SbpTm {
@@ -99,31 +119,46 @@ impl TransmissionModule for SbpTm {
         }
     }
 
-    fn send_buffer(&self, dst: NodeId, data: &[u8]) {
+    fn send_buffer(&self, dst: NodeId, data: &[u8]) -> MadResult<()> {
         assert!(data.len() <= SBP_BUFFER_SIZE, "SBP dynamic send too large");
         let mut buf = self.obtain_static_buffer();
         buf.spare_mut()[..data.len()].copy_from_slice(data);
         buf.advance(data.len());
-        self.send_static_buffer(dst, buf);
+        self.send_static_buffer(dst, buf)
     }
 
-    fn send_static_buffer(&self, dst: NodeId, buf: StaticBuf) {
+    fn send_static_buffer(&self, dst: NodeId, buf: StaticBuf) -> MadResult<()> {
         // The StaticBuf *is* the kernel buffer: obtain_static_buffer below
         // reserved the pool slot, so the hand-off here is free.
         let mut tx = self.sbp.obtain_tx_reserved();
         tx.fill(buf.filled());
-        self.sbp.send(dst, self.tag, tx);
+        let n = self
+            .sbp
+            .try_send(dst, self.tag, tx)
+            .map_err(|e| self.link_err(e, dst))?;
+        if n > 0 {
+            self.stats.record_retransmits(n);
+            self.tracer.record(TraceEvent::Retransmit {
+                peer: dst,
+                retries: n,
+            });
+        }
+        Ok(())
     }
 
-    fn receive_buffer(&self, src: NodeId, dst: &mut [u8]) {
-        let buf = self.receive_static_buffer(src);
+    fn receive_buffer(&self, src: NodeId, dst: &mut [u8]) -> MadResult<()> {
+        let buf = self.receive_static_buffer(src)?;
         assert_eq!(buf.len(), dst.len(), "SBP dynamic receive length mismatch");
         dst.copy_from_slice(buf.filled());
+        Ok(())
     }
 
-    fn receive_static_buffer(&self, src: NodeId) -> StaticBuf {
-        let rx = self.sbp.recv_from(src, self.tag);
-        StaticBuf::shared(rx, 0)
+    fn receive_static_buffer(&self, src: NodeId) -> MadResult<StaticBuf> {
+        let rx = self
+            .sbp
+            .try_recv_from(src, self.tag)
+            .map_err(|e| self.link_err(e, src))?;
+        Ok(StaticBuf::shared(rx, 0))
     }
 
     fn obtain_static_buffer(&self) -> StaticBuf {

@@ -31,17 +31,21 @@
 //! their reader polls locally — remote SCI reads are prohibitively slow).
 
 use crate::bmm::SendPolicy;
+use crate::error::{MadError, MadResult};
 use crate::flags::{RecvMode, SendMode};
 use crate::pmm::Pmm;
 use crate::polling::PollPolicy;
+use crate::stats::Stats;
 use crate::tm::{TmCaps, TmId, TransmissionModule};
+use crate::trace::{TraceEvent, Tracer};
 use madsim_net::stacks::sisci::{LocalSegment, RemoteSegment, Sisci};
 use madsim_net::time::{self, VDuration, VTime};
 use madsim_net::world::Adapter;
-use madsim_net::NodeId;
+use madsim_net::{FaultState, LinkError, NodeId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Largest block carried by the short TM.
 pub const SHORT_LIMIT: usize = 512;
@@ -59,6 +63,11 @@ const DMA_RING: usize = DMA_CHUNK;
 
 /// Fixed cost of arming the dual-buffering pipeline for a bulk transfer.
 const DUALBUF_SETUP_US: f64 = 20.0;
+
+/// Bounded wait (real time) for flag/ack publication on a fault-armed
+/// fabric. SCI has no retransmission, so an expired wait reports the
+/// channel down rather than retrying.
+const FAULT_WAIT: Duration = Duration::from_millis(2_000);
 
 // Segment layout offsets.
 const OFF_SHORT: usize = 0;
@@ -102,6 +111,10 @@ struct PeerLink {
     /// Owned by the peer; we write our data (me→peer) and our acks here.
     remote: RemoteSegment,
     streams: [StreamPair; 3],
+    /// Fault state of the fabric, if armed (`None` on a clean world).
+    faults: Option<Arc<FaultState>>,
+    me: NodeId,
+    peer: NodeId,
 }
 
 struct StreamPair {
@@ -178,25 +191,41 @@ fn checked_add(pos: u32, n: usize, what: &str) -> u32 {
 }
 
 impl PeerLink {
+    /// Wait until the local flag at `off` reaches `val`. Unbounded on a
+    /// clean world; bounded by [`FAULT_WAIT`] when faults are armed, with
+    /// expiry distinguishing a dead peer from a merely silent one.
+    fn wait_flag(&self, off: usize, val: u32) -> Result<u32, LinkError> {
+        let Some(faults) = &self.faults else {
+            return Ok(self.local.wait_flag_ge_val(off, val).0);
+        };
+        if !faults.reachable(self.me, self.peer) {
+            return Err(LinkError::PeerDead);
+        }
+        match self.local.wait_flag_ge_val_timeout(off, val, FAULT_WAIT) {
+            Some((v, _)) => Ok(v),
+            None if !faults.reachable(self.me, self.peer) => Err(LinkError::PeerDead),
+            None => Err(LinkError::Timeout),
+        }
+    }
+
     /// Stream a commit-group of blocks to the peer through `geom`.
-    fn send_group(&self, geom: StreamGeom, bufs: &[&[u8]]) {
+    fn send_group(&self, geom: StreamGeom, bufs: &[&[u8]]) -> Result<(), LinkError> {
         let total: usize = bufs.iter().map(|b| b.len()).sum();
         if total == 0 {
-            return;
+            return Ok(());
         }
         let mut st = self.streams[geom.index].send.lock();
         // Gather into chunk-sized PIO/DMA writes; the staging buffer models
         // the CPU's write-combining gather, not a user-visible copy.
         let mut stage = vec![0u8; geom.chunk];
         let mut stage_fill = 0usize;
-        let flush_chunk = |st: &mut SendStream, stage: &[u8]| {
+        let flush_chunk = |st: &mut SendStream, stage: &[u8]| -> Result<(), LinkError> {
             let end = checked_add(st.pos, stage.len(), "send");
             // Flow control: the chunk's last byte must fit in the ring
             // window beyond the receiver's consumed position.
             if end > st.acked.saturating_add(geom.ring as u32) {
                 let need = end - geom.ring as u32;
-                let (v, _) = self.local.wait_flag_ge_val(geom.ack_off, need);
-                st.acked = v;
+                st.acked = self.wait_flag(geom.ack_off, need)?;
             }
             // Streams are byte-granular, so a chunk may straddle the ring
             // wrap: split it into at most two writes.
@@ -219,6 +248,7 @@ impl PeerLink {
             }
             st.pos = end;
             self.remote.write_flag(geom.flag_off, st.pos, vis);
+            Ok(())
         };
         for b in bufs {
             let mut rest: &[u8] = b;
@@ -228,27 +258,27 @@ impl PeerLink {
                 stage_fill += take;
                 rest = &rest[take..];
                 if stage_fill == geom.chunk {
-                    flush_chunk(&mut st, &stage);
+                    flush_chunk(&mut st, &stage)?;
                     stage_fill = 0;
                 }
             }
         }
         if stage_fill > 0 {
-            flush_chunk(&mut st, &stage[..stage_fill]);
+            flush_chunk(&mut st, &stage[..stage_fill])?;
         }
+        Ok(())
     }
 
     /// Read `dst.len()` bytes of the peer's stream through `geom`.
-    fn read_stream(&self, geom: StreamGeom, dst: &mut [u8]) {
+    fn read_stream(&self, geom: StreamGeom, dst: &mut [u8]) -> Result<(), LinkError> {
         if dst.is_empty() {
-            return;
+            return Ok(());
         }
         let mut st = self.streams[geom.index].recv.lock();
         let mut filled = 0usize;
         while filled < dst.len() {
             if st.known == st.pos {
-                let (v, _) = self.local.wait_flag_ge_val(geom.flag_off, st.pos + 1);
-                st.known = v;
+                st.known = self.wait_flag(geom.flag_off, st.pos + 1)?;
             }
             let avail = (st.known - st.pos) as usize;
             let ring_left = geom.ring - (st.pos as usize % geom.ring);
@@ -267,6 +297,7 @@ impl PeerLink {
                 self.remote.write_flag(geom.ack_off, st.pos, VTime::ZERO);
             }
         }
+        Ok(())
     }
 
     /// Is unconsumed data pending on this stream? (No clock effects.)
@@ -284,6 +315,8 @@ pub fn build(
     enable_dma: bool,
     poll: PollPolicy,
     timing: Option<madsim_net::stacks::sisci::SisciTiming>,
+    stats: Arc<Stats>,
+    tracer: Arc<Tracer>,
 ) -> Arc<dyn Pmm> {
     let sisci = match timing {
         Some(t) => Sisci::with_timing(adapter, t),
@@ -313,6 +346,9 @@ pub fn build(
                     local,
                     remote,
                     streams: [StreamPair::new(), StreamPair::new(), StreamPair::new()],
+                    faults: adapter.faults().cloned(),
+                    me,
+                    peer: p,
                 }),
             )
         })
@@ -324,18 +360,24 @@ pub fn build(
         geom: SHORT_GEOM,
         links: Arc::clone(&links),
         setup_above: None,
+        stats: Arc::clone(&stats),
+        tracer: Arc::clone(&tracer),
     });
     let regular: Arc<dyn TransmissionModule> = Arc::new(SisciStreamTm {
         name: "sisci/regular-pio",
         geom: DATA_GEOM,
         links: Arc::clone(&links),
         setup_above: Some((CHUNK_SIZE, VDuration::from_micros_f64(DUALBUF_SETUP_US))),
+        stats: Arc::clone(&stats),
+        tracer: Arc::clone(&tracer),
     });
     let dma: Arc<dyn TransmissionModule> = Arc::new(SisciStreamTm {
         name: "sisci/dma",
         geom: DMA_GEOM,
         links: Arc::clone(&links),
         setup_above: None,
+        stats,
+        tracer,
     });
     Arc::new(SisciPmm {
         links,
@@ -398,6 +440,8 @@ struct SisciStreamTm {
     /// `(threshold, cost)`: charge `cost` when a group exceeds `threshold`
     /// (the dual-buffering pipeline arm cost of the regular TM).
     setup_above: Option<(usize, VDuration)>,
+    stats: Arc<Stats>,
+    tracer: Arc<Tracer>,
 }
 
 impl SisciStreamTm {
@@ -405,6 +449,19 @@ impl SisciStreamTm {
         self.links
             .get(&peer)
             .unwrap_or_else(|| panic!("no SISCI link to node {peer}"))
+    }
+
+    /// Lift an expired flag wait into the taxonomy: SCI has no
+    /// retransmission, so a silent peer means the channel is down.
+    fn wait_err(&self, e: LinkError, peer: NodeId) -> MadError {
+        match e {
+            LinkError::PeerDead => MadError::PeerUnreachable { peer },
+            LinkError::Timeout => {
+                self.stats.record_link_timeout();
+                self.tracer.record(TraceEvent::CreditTimeout { peer });
+                MadError::ChannelDown
+            }
+        }
     }
 }
 
@@ -421,38 +478,44 @@ impl TransmissionModule for SisciStreamTm {
         }
     }
 
-    fn send_buffer(&self, dst: NodeId, data: &[u8]) {
-        self.send_buffer_group(dst, &[data]);
+    fn send_buffer(&self, dst: NodeId, data: &[u8]) -> MadResult<()> {
+        self.send_buffer_group(dst, &[data])
     }
 
-    fn send_buffer_group(&self, dst: NodeId, bufs: &[&[u8]]) {
+    fn send_buffer_group(&self, dst: NodeId, bufs: &[&[u8]]) -> MadResult<()> {
         let total: usize = bufs.iter().map(|b| b.len()).sum();
         if total == 0 {
-            return;
+            return Ok(());
         }
         if let Some((threshold, cost)) = self.setup_above {
             if total > threshold {
                 time::advance(cost);
             }
         }
-        self.link(dst).send_group(self.geom, bufs);
+        self.link(dst)
+            .send_group(self.geom, bufs)
+            .map_err(|e| self.wait_err(e, dst))
     }
 
-    fn send_gather(&self, dst: NodeId, bufs: &[&[u8]]) {
+    fn send_gather(&self, dst: NodeId, bufs: &[&[u8]]) -> MadResult<()> {
         // Native gather: blocks stream back-to-back into the PIO ring.
         // `send_group`'s chunk staging models the CPU's write-combining
         // buffer, not a generic-layer copy.
-        self.send_buffer_group(dst, bufs);
+        self.send_buffer_group(dst, bufs)
     }
 
-    fn receive_buffer(&self, src: NodeId, dst: &mut [u8]) {
-        self.link(src).read_stream(self.geom, dst);
+    fn receive_buffer(&self, src: NodeId, dst: &mut [u8]) -> MadResult<()> {
+        self.link(src)
+            .read_stream(self.geom, dst)
+            .map_err(|e| self.wait_err(e, src))
     }
 
-    fn receive_sub_buffer_group(&self, src: NodeId, dsts: &mut [&mut [u8]]) {
+    fn receive_sub_buffer_group(&self, src: NodeId, dsts: &mut [&mut [u8]]) -> MadResult<()> {
         let link = self.link(src);
         for d in dsts.iter_mut() {
-            link.read_stream(self.geom, d);
+            link.read_stream(self.geom, d)
+                .map_err(|e| self.wait_err(e, src))?;
         }
+        Ok(())
     }
 }

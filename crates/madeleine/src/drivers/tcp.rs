@@ -8,15 +8,17 @@
 
 use crate::bmm::SendPolicy;
 use crate::config::HostModel;
+use crate::error::{MadError, MadResult};
 use crate::flags::{RecvMode, SendMode};
 use crate::pmm::Pmm;
 use crate::polling::PollPolicy;
 use crate::stats::Stats;
 use crate::tm::{TmCaps, TmId, TransmissionModule};
+use crate::trace::{TraceEvent, Tracer};
 use madsim_net::stacks::tcp::{TcpConn, TcpStack};
 use madsim_net::time;
 use madsim_net::world::Adapter;
-use madsim_net::NodeId;
+use madsim_net::{LinkError, NodeId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -30,6 +32,7 @@ pub fn build(
     stats: Arc<Stats>,
     poll: PollPolicy,
     timing: Option<madsim_net::stacks::tcp::TcpTiming>,
+    tracer: Arc<Tracer>,
 ) -> Arc<dyn Pmm> {
     let stack = match timing {
         Some(t) => TcpStack::with_timing(adapter, t),
@@ -46,6 +49,7 @@ pub fn build(
         conns: Mutex::new(conns),
         host,
         stats,
+        tracer,
     });
     Arc::new(TcpPmm {
         stack,
@@ -92,6 +96,7 @@ struct TcpTm {
     conns: Mutex<HashMap<NodeId, TcpConn>>,
     host: HostModel,
     stats: Arc<Stats>,
+    tracer: Arc<Tracer>,
 }
 
 impl TcpTm {
@@ -101,6 +106,24 @@ impl TcpTm {
             .get_mut(&peer)
             .unwrap_or_else(|| panic!("no TCP connection to node {peer}"));
         f(conn)
+    }
+
+    /// Account a completed reliable send: `n` retransmissions happened
+    /// before the ack arrived (0 on the fault-free fast path).
+    fn note_retransmits(&self, peer: NodeId, n: u64) {
+        if n > 0 {
+            self.stats.record_retransmits(n);
+            self.tracer.record(TraceEvent::Retransmit { peer, retries: n });
+        }
+    }
+
+    /// Lift a fabric link error into the taxonomy, counting timeouts.
+    fn link_err(&self, e: LinkError, peer: NodeId) -> MadError {
+        if e == LinkError::Timeout {
+            self.stats.record_link_timeout();
+            self.tracer.record(TraceEvent::CreditTimeout { peer });
+        }
+        MadError::from_link(e, peer)
     }
 }
 
@@ -117,42 +140,55 @@ impl TransmissionModule for TcpTm {
         }
     }
 
-    fn send_buffer(&self, dst: NodeId, data: &[u8]) {
-        self.with_conn(dst, |c| c.send(data));
+    fn send_buffer(&self, dst: NodeId, data: &[u8]) -> MadResult<()> {
+        let n = self
+            .with_conn(dst, |c| c.try_send(data))
+            .map_err(|e| self.link_err(e, dst))?;
+        self.note_retransmits(dst, n);
+        Ok(())
     }
 
-    fn send_buffer_group(&self, dst: NodeId, bufs: &[&[u8]]) {
+    fn send_buffer_group(&self, dst: NodeId, bufs: &[&[u8]]) -> MadResult<()> {
         if bufs.is_empty() {
-            return;
+            return Ok(());
         }
-        self.with_conn(dst, |c| c.send_vectored(bufs));
+        let n = self
+            .with_conn(dst, |c| c.try_send_vectored(bufs))
+            .map_err(|e| self.link_err(e, dst))?;
+        self.note_retransmits(dst, n);
+        Ok(())
     }
 
-    fn send_gather(&self, dst: NodeId, bufs: &[&[u8]]) {
+    fn send_gather(&self, dst: NodeId, bufs: &[&[u8]]) -> MadResult<()> {
         // Native gather: the blocks go to the kernel in one writev-style
         // call, straight from where they lie — no coalescing staging copy.
-        self.send_buffer_group(dst, bufs);
+        self.send_buffer_group(dst, bufs)
     }
 
-    fn receive_buffer(&self, src: NodeId, dst: &mut [u8]) {
-        self.with_conn(src, |c| c.recv_exact(dst));
+    fn receive_buffer(&self, src: NodeId, dst: &mut [u8]) -> MadResult<()> {
+        self.with_conn(src, |c| c.try_recv_exact(dst))
+            .map_err(|e| self.link_err(e, src))?;
         // Socket buffer → user memory copy: a cost of the protocol itself,
         // not of the generic layer (no emission flag could avoid it).
         time::advance(self.host.memcpy(dst.len()));
         self.stats.record_tm_copy(dst.len());
+        Ok(())
     }
 
-    fn receive_sub_buffer_group(&self, src: NodeId, dsts: &mut [&mut [u8]]) {
+    fn receive_sub_buffer_group(&self, src: NodeId, dsts: &mut [&mut [u8]]) -> MadResult<()> {
         let mut total = 0;
-        self.with_conn(src, |c| {
+        self.with_conn(src, |c| -> Result<(), LinkError> {
             for d in dsts.iter_mut() {
-                c.recv_exact(d);
+                c.try_recv_exact(d)?;
                 total += d.len();
             }
-        });
+            Ok(())
+        })
+        .map_err(|e| self.link_err(e, src))?;
         if total > 0 {
             time::advance(self.host.memcpy(total));
             self.stats.record_tm_copy(total);
         }
+        Ok(())
     }
 }

@@ -12,17 +12,21 @@
 //!   panics, so getting this wrong is loud).
 
 use crate::bmm::SendPolicy;
+use crate::error::{MadError, MadResult};
 use crate::flags::{RecvMode, SendMode};
 use crate::pmm::Pmm;
 use crate::polling::PollPolicy;
 use crate::pool::BufPool;
+use crate::stats::Stats;
 use crate::tm::{StaticBuf, TmCaps, TmId, TransmissionModule};
+use crate::trace::{TraceEvent, Tracer};
 use madsim_net::stacks::via::{Vi, Via};
 use madsim_net::world::Adapter;
-use madsim_net::NodeId;
+use madsim_net::{LinkError, NodeId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Registered buffer (descriptor) size.
 pub const VIA_BUF: usize = 8192;
@@ -35,6 +39,20 @@ const CREDIT_WINDOW: usize = 8;
 
 const SUB_DATA: u64 = 0;
 const SUB_CREDIT: u64 = 1;
+
+/// Bounded wait (real time) for credit returns and data arrivals on a
+/// fault-armed fabric. VIA has no retransmission, so an expired wait
+/// reports the channel down rather than retrying.
+const FAULT_WAIT: Duration = Duration::from_millis(2_000);
+
+/// Decode a credit-return packet (8-byte LE count).
+fn credit_value(pkt: &[u8]) -> MadResult<usize> {
+    let bytes: [u8; 8] = pkt
+        .get(..8)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| MadError::corrupt("VIA credit packet shorter than 8 bytes"))?;
+    Ok(u64::from_le_bytes(bytes) as usize)
+}
 
 fn tag(channel_id: u32, sub: u64) -> u64 {
     ((channel_id as u64) << 8) | sub
@@ -56,6 +74,8 @@ pub fn build(
     poll: PollPolicy,
     timing: Option<madsim_net::stacks::via::ViaTiming>,
     pool: BufPool,
+    stats: Arc<Stats>,
+    tracer: Arc<Tracer>,
 ) -> Arc<dyn Pmm> {
     let via = match timing {
         Some(t) => Via::with_timing(adapter, t),
@@ -89,6 +109,8 @@ pub fn build(
     let tm: Arc<dyn TransmissionModule> = Arc::new(ViaTm {
         vis: Arc::clone(&vis),
         pool,
+        stats,
+        tracer,
     });
     Arc::new(ViaPmm {
         vis,
@@ -135,6 +157,8 @@ impl Pmm for ViaPmm {
 struct ViaTm {
     vis: Arc<HashMap<NodeId, Mutex<PeerVis>>>,
     pool: BufPool,
+    stats: Arc<Stats>,
+    tracer: Arc<Tracer>,
 }
 
 impl ViaTm {
@@ -144,6 +168,19 @@ impl ViaTm {
             .get(&peer)
             .unwrap_or_else(|| panic!("no VIA VI to node {peer}"));
         f(&mut vi.lock())
+    }
+
+    /// Lift an expired bounded wait into the taxonomy: VIA has no
+    /// retransmission, so a silent peer means the channel is down.
+    fn wait_err(&self, e: LinkError, peer: NodeId) -> MadError {
+        match e {
+            LinkError::PeerDead => MadError::PeerUnreachable { peer },
+            LinkError::Timeout => {
+                self.stats.record_link_timeout();
+                self.tracer.record(TraceEvent::CreditTimeout { peer });
+                MadError::ChannelDown
+            }
+        }
     }
 }
 
@@ -160,42 +197,61 @@ impl TransmissionModule for ViaTm {
         }
     }
 
-    fn send_buffer(&self, dst: NodeId, data: &[u8]) {
+    fn send_buffer(&self, dst: NodeId, data: &[u8]) -> MadResult<()> {
         assert!(data.len() <= VIA_BUF, "VIA dynamic send exceeds buffer");
         let mut buf = self.obtain_static_buffer();
         buf.spare_mut()[..data.len()].copy_from_slice(data);
         buf.advance(data.len());
-        self.send_static_buffer(dst, buf);
+        self.send_static_buffer(dst, buf)
     }
 
-    fn send_static_buffer(&self, dst: NodeId, buf: StaticBuf) {
+    fn send_static_buffer(&self, dst: NodeId, buf: StaticBuf) -> MadResult<()> {
         self.with_peer(dst, |p| {
             // Refresh the window view from any queued credit returns.
             while let Some(pkt) = p.credit.try_recv() {
-                let n = u64::from_le_bytes(pkt[..8].try_into().expect("8-byte credit")) as usize;
+                let n = credit_value(&pkt)?;
                 p.outstanding = p.outstanding.saturating_sub(n);
                 p.credit.post_recv(8);
             }
             while p.outstanding >= WINDOW {
-                let pkt = p.credit.recv();
-                let n = u64::from_le_bytes(pkt[..8].try_into().expect("8-byte credit")) as usize;
+                // Window closed: block for a credit return. On a fault-armed
+                // fabric the wait is bounded — a vanished receiver marks the
+                // channel down instead of hanging forever.
+                let pkt = if p.credit.faulty() {
+                    p.credit
+                        .recv_timeout(FAULT_WAIT)
+                        .map_err(|e| self.wait_err(e, dst))?
+                } else {
+                    p.credit.recv()
+                };
+                let n = credit_value(&pkt)?;
                 p.outstanding = p.outstanding.saturating_sub(n);
                 p.credit.post_recv(8);
             }
             p.outstanding += 1;
             p.data.send(buf.filled());
-        });
+            Ok(())
+        })
     }
 
-    fn receive_buffer(&self, src: NodeId, dst: &mut [u8]) {
-        let buf = self.receive_static_buffer(src);
+    fn receive_buffer(&self, src: NodeId, dst: &mut [u8]) -> MadResult<()> {
+        let buf = self.receive_static_buffer(src)?;
         assert_eq!(buf.len(), dst.len(), "VIA dynamic receive length mismatch");
         dst.copy_from_slice(buf.filled());
+        Ok(())
     }
 
-    fn receive_static_buffer(&self, src: NodeId) -> StaticBuf {
+    fn receive_static_buffer(&self, src: NodeId) -> MadResult<StaticBuf> {
         self.with_peer(src, |p| {
-            let data = p.data.recv();
+            // The announcing header already arrived on this VI, so the data
+            // wait is bounded on a fault-armed fabric too.
+            let data = if p.data.faulty() {
+                p.data
+                    .recv_timeout(FAULT_WAIT)
+                    .map_err(|e| self.wait_err(e, src))?
+            } else {
+                p.data.recv()
+            };
             p.data.post_recv(VIA_BUF);
             p.consumed += 1;
             if p.consumed >= CREDIT_BATCH {
@@ -203,7 +259,7 @@ impl TransmissionModule for ViaTm {
                 p.consumed = 0;
                 p.credit.send(&n.to_le_bytes());
             }
-            StaticBuf::shared(data, 0)
+            Ok(StaticBuf::shared(data, 0))
         })
     }
 

@@ -1,0 +1,94 @@
+//! The Madeleine II error taxonomy.
+//!
+//! The original library (like the paper's hardware) assumes perfectly
+//! reliable interconnects, so every unexpected condition was a `panic!`.
+//! On a fault-armed fabric (see `madsim_net::FaultPlan`) links really do
+//! drop frames, peers really do crash, and those conditions must surface
+//! to the caller as values. [`MadError`] is that surface: the `try_`
+//! variants of the channel/TM API return [`MadResult`], and the original
+//! panicking entry points remain as thin shims over them — so the
+//! zero-fault fast path pays nothing for the machinery.
+
+use madsim_net::{LinkError, NodeId};
+
+/// Everything that can go wrong on a Madeleine data path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MadError {
+    /// A bounded wait (ack, credit, rendezvous, flag) expired. The peer
+    /// may still be alive; retrying at a higher level may succeed.
+    Timeout,
+    /// The peer is known dead: crashed or partitioned away.
+    PeerUnreachable {
+        /// The unreachable node.
+        peer: NodeId,
+    },
+    /// The channel (or virtual-channel route) can no longer deliver —
+    /// retransmission was exhausted, a credit source vanished, or every
+    /// route of a virtual channel is down.
+    ChannelDown,
+    /// Incoming bytes violate a wire protocol (bad magic, corrupt
+    /// envelope, malformed header). The stream cannot be resynchronized.
+    CorruptStream(String),
+    /// A virtual channel has no route configured that could reach the
+    /// destination.
+    NoRoute,
+}
+
+/// Result alias used by all fallible Madeleine APIs.
+pub type MadResult<T> = Result<T, MadError>;
+
+impl MadError {
+    /// Lift a fabric-level link error into the taxonomy, naming the peer
+    /// the link pointed at.
+    pub fn from_link(e: LinkError, peer: NodeId) -> Self {
+        match e {
+            LinkError::Timeout => MadError::Timeout,
+            LinkError::PeerDead => MadError::PeerUnreachable { peer },
+        }
+    }
+
+    /// Convenience constructor for [`MadError::CorruptStream`].
+    pub fn corrupt(what: impl Into<String>) -> Self {
+        MadError::CorruptStream(what.into())
+    }
+}
+
+impl std::fmt::Display for MadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MadError::Timeout => write!(f, "operation timed out"),
+            MadError::PeerUnreachable { peer } => write!(f, "peer node {peer} is unreachable"),
+            MadError::ChannelDown => write!(f, "channel is down"),
+            MadError::CorruptStream(what) => write!(f, "corrupt stream: {what}"),
+            MadError::NoRoute => write!(f, "no route to destination"),
+        }
+    }
+}
+
+impl std::error::Error for MadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_link_maps_both_variants() {
+        assert_eq!(MadError::from_link(LinkError::Timeout, 3), MadError::Timeout);
+        assert_eq!(
+            MadError::from_link(LinkError::PeerDead, 3),
+            MadError::PeerUnreachable { peer: 3 }
+        );
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            MadError::corrupt("bad magic 0xdead").to_string(),
+            "corrupt stream: bad magic 0xdead"
+        );
+        assert_eq!(
+            MadError::PeerUnreachable { peer: 7 }.to_string(),
+            "peer node 7 is unreachable"
+        );
+    }
+}

@@ -61,6 +61,7 @@ pub mod bmm;
 pub mod channel;
 pub mod config;
 pub mod drivers;
+pub mod error;
 pub mod flags;
 pub mod pmm;
 pub mod polling;
@@ -73,6 +74,7 @@ pub mod typed;
 
 pub use channel::{Channel, IncomingMessage, OutgoingMessage, HEADER_LEN};
 pub use config::{ChannelSpec, Config, HostModel, Protocol};
+pub use error::{MadError, MadResult};
 pub use flags::{RecvMode, SendMode};
 pub use polling::PollPolicy;
 pub use pool::{BufPool, PooledBuf};

@@ -5,6 +5,7 @@ use crate::config::Config;
 use crate::drivers;
 use crate::pool::BufPool;
 use crate::stats::Stats;
+use crate::trace::Tracer;
 use madsim_net::world::NodeEnv;
 use madsim_net::NodeId;
 use std::collections::HashMap;
@@ -49,6 +50,10 @@ impl Madeleine {
             // buffers), so all of the channel's traffic recycles one set
             // of warm slabs.
             let pool = BufPool::new(Arc::clone(&stats));
+            // The tracer is shared between the channel and its driver so
+            // fault-recovery events (retransmissions, credit timeouts)
+            // land in the same stream as the pack/unpack events.
+            let tracer = Arc::new(Tracer::new());
             let pmm = drivers::build_pmm(
                 spec.protocol,
                 adapter,
@@ -57,6 +62,7 @@ impl Madeleine {
                 config.host.0,
                 Arc::clone(&stats),
                 pool.clone(),
+                Arc::clone(&tracer),
             );
             let channel = Channel::with_shared_pool(
                 spec.name.clone(),
@@ -66,6 +72,7 @@ impl Madeleine {
                 config.host.0,
                 stats,
                 pool,
+                tracer,
             );
             channels.insert(spec.name.clone(), channel);
         }

@@ -46,6 +46,16 @@ pub struct Stats {
     commits: AtomicU64,
     /// Messages completed (end_packing calls).
     messages: AtomicU64,
+    /// Frames retransmitted by a fault-armed TM (TCP/SBP ARQ). Exactly
+    /// zero when no `FaultPlan` is installed — the recovery machinery
+    /// never arms on a reliable fabric.
+    retransmits: AtomicU64,
+    /// Bounded waits (credit, rendezvous, flag, ack) that expired.
+    link_timeouts: AtomicU64,
+    /// Virtual-channel reroutes onto an alternate route after a hop died.
+    failovers: AtomicU64,
+    /// Partially reassembled fragments discarded on a failover.
+    frags_discarded: AtomicU64,
     /// Per-TM traffic: (buffers, bytes) sent through each transmission
     /// module — the observable outcome of the Switch's selection.
     per_tm: Mutex<HashMap<TmId, (u64, u64)>>,
@@ -127,6 +137,28 @@ impl Stats {
         self.messages.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Account `n` retransmitted frames (fault-armed ARQ only).
+    pub fn record_retransmits(&self, n: u64) {
+        if n > 0 {
+            self.retransmits.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Account one expired bounded wait (credit/rendezvous/ack timeout).
+    pub fn record_link_timeout(&self) {
+        self.link_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Account one virtual-channel failover onto an alternate route.
+    pub fn record_failover(&self) {
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Account one partial fragment discarded during recovery.
+    pub fn record_frag_discarded(&self) {
+        self.frags_discarded.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub fn copies(&self) -> u64 {
         self.copies.load(Ordering::Relaxed)
     }
@@ -183,6 +215,22 @@ impl Stats {
         self.messages.load(Ordering::Relaxed)
     }
 
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits.load(Ordering::Relaxed)
+    }
+
+    pub fn link_timeouts(&self) -> u64 {
+        self.link_timeouts.load(Ordering::Relaxed)
+    }
+
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
+    pub fn frags_discarded(&self) -> u64 {
+        self.frags_discarded.load(Ordering::Relaxed)
+    }
+
     /// Snapshot for before/after deltas in tests.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -197,6 +245,10 @@ impl Stats {
             buffers_sent: self.buffers_sent(),
             commits: self.commits(),
             messages: self.messages(),
+            retransmits: self.retransmits(),
+            link_timeouts: self.link_timeouts(),
+            failovers: self.failovers(),
+            frags_discarded: self.frags_discarded(),
         }
     }
 }
@@ -215,6 +267,10 @@ pub struct StatsSnapshot {
     pub buffers_sent: u64,
     pub commits: u64,
     pub messages: u64,
+    pub retransmits: u64,
+    pub link_timeouts: u64,
+    pub failovers: u64,
+    pub frags_discarded: u64,
 }
 
 impl StatsSnapshot {
@@ -232,6 +288,10 @@ impl StatsSnapshot {
             buffers_sent: self.buffers_sent - earlier.buffers_sent,
             commits: self.commits - earlier.commits,
             messages: self.messages - earlier.messages,
+            retransmits: self.retransmits - earlier.retransmits,
+            link_timeouts: self.link_timeouts - earlier.link_timeouts,
+            failovers: self.failovers - earlier.failovers,
+            frags_discarded: self.frags_discarded - earlier.frags_discarded,
         }
     }
 }
@@ -304,5 +364,23 @@ mod tests {
     fn hit_rate_with_no_traffic_is_one() {
         let s = Stats::new();
         assert_eq!(s.pool_hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn robustness_counters_accumulate() {
+        let s = Stats::new();
+        s.record_retransmits(0); // no-op
+        s.record_retransmits(3);
+        s.record_link_timeout();
+        s.record_failover();
+        s.record_frag_discarded();
+        s.record_frag_discarded();
+        assert_eq!(s.retransmits(), 3);
+        assert_eq!(s.link_timeouts(), 1);
+        assert_eq!(s.failovers(), 1);
+        assert_eq!(s.frags_discarded(), 2);
+        let d = s.snapshot().since(&StatsSnapshot::default());
+        assert_eq!(d.retransmits, 3);
+        assert_eq!(d.frags_discarded, 2);
     }
 }

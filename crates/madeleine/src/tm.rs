@@ -21,6 +21,7 @@
 //! and the [`TmCaps`] advertisement tells the generic layer which paths are
 //! usable.
 
+use crate::error::MadResult;
 use crate::pool::PooledBuf;
 use bytes::Bytes;
 use madsim_net::NodeId;
@@ -164,14 +165,19 @@ pub trait TransmissionModule: Send + Sync {
     fn caps(&self) -> TmCaps;
 
     /// Transmit one dynamic (user-memory) buffer to `dst`.
-    fn send_buffer(&self, dst: NodeId, data: &[u8]);
+    ///
+    /// On a fault-free fabric this never fails; on a fault-armed one it
+    /// surfaces retransmission exhaustion, credit timeouts, and dead peers
+    /// as [`crate::error::MadError`]s instead of hanging or panicking.
+    fn send_buffer(&self, dst: NodeId, data: &[u8]) -> MadResult<()>;
 
     /// Transmit a group of dynamic buffers as one logical unit. TMs with
     /// native gather override this; the default is sequential sends.
-    fn send_buffer_group(&self, dst: NodeId, bufs: &[&[u8]]) {
+    fn send_buffer_group(&self, dst: NodeId, bufs: &[&[u8]]) -> MadResult<()> {
         for b in bufs {
-            self.send_buffer(dst, b);
+            self.send_buffer(dst, b)?;
         }
+        Ok(())
     }
 
     /// Scatter/gather flush: transmit a buffer group straight from the
@@ -181,32 +187,33 @@ pub trait TransmissionModule: Send + Sync {
     /// it; the default forwards to [`send_buffer_group`](Self::send_buffer_group),
     /// which is itself copy-free (sequential per-block sends) unless a TM
     /// overrides *that* with something that stages.
-    fn send_gather(&self, dst: NodeId, bufs: &[&[u8]]) {
-        self.send_buffer_group(dst, bufs);
+    fn send_gather(&self, dst: NodeId, bufs: &[&[u8]]) -> MadResult<()> {
+        self.send_buffer_group(dst, bufs)
     }
 
     /// Transmit a filled static buffer previously obtained from this TM.
     /// The buffer returns to the TM's pool.
-    fn send_static_buffer(&self, _dst: NodeId, _buf: StaticBuf) {
+    fn send_static_buffer(&self, _dst: NodeId, _buf: StaticBuf) -> MadResult<()> {
         panic!("{}: static buffers not supported", self.name());
     }
 
     /// Receive the next buffer from `src` directly into `dst` (which must
     /// be exactly the transmitted length — Madeleine messages are not
     /// self-described).
-    fn receive_buffer(&self, src: NodeId, dst: &mut [u8]);
+    fn receive_buffer(&self, src: NodeId, dst: &mut [u8]) -> MadResult<()>;
 
     /// Receive a group of buffers transmitted by
     /// [`send_buffer_group`](Self::send_buffer_group), scattered into
     /// `dsts`. Default: sequential receives.
-    fn receive_sub_buffer_group(&self, src: NodeId, dsts: &mut [&mut [u8]]) {
+    fn receive_sub_buffer_group(&self, src: NodeId, dsts: &mut [&mut [u8]]) -> MadResult<()> {
         for d in dsts.iter_mut() {
-            self.receive_buffer(src, d);
+            self.receive_buffer(src, d)?;
         }
+        Ok(())
     }
 
     /// Receive the next static buffer from `src` (static-buffer TMs only).
-    fn receive_static_buffer(&self, _src: NodeId) -> StaticBuf {
+    fn receive_static_buffer(&self, _src: NodeId) -> MadResult<StaticBuf> {
         panic!("{}: static buffers not supported", self.name());
     }
 

@@ -57,6 +57,21 @@ pub enum TraceEvent {
         pool_hits: u64,
         pool_misses: u64,
     },
+    /// A fault-armed TM retransmitted frames to `peer` before its send was
+    /// acknowledged.
+    Retransmit { peer: NodeId, retries: u64 },
+    /// A bounded wait on `peer` (credit return, rendezvous CTS, flag
+    /// write, ack) expired.
+    CreditTimeout { peer: NodeId },
+    /// A virtual-channel route was marked down (index into the channel's
+    /// route list).
+    RouteDown { route: usize },
+    /// A message to `dst` was rerouted onto alternate route `route` after
+    /// its primary failed.
+    Failover { dst: NodeId, route: usize },
+    /// A partially reassembled fragment from `src` was discarded during
+    /// recovery (the retransmitted message restarts from offset 0).
+    FragmentDiscarded { src: NodeId },
 }
 
 /// A timestamped event.

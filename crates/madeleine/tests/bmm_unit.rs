@@ -6,6 +6,7 @@ use madeleine::bmm::{RecvBmm, SendBmm, SendPolicy};
 use madeleine::config::HostModel;
 use madeleine::stats::Stats;
 use madeleine::tm::{StaticBuf, TmCaps, TransmissionModule};
+use madeleine::MadResult;
 use madsim_net::time::{self, ClockHandle};
 use madsim_net::NodeId;
 use parking_lot::Mutex;
@@ -69,32 +70,36 @@ impl TransmissionModule for MockTm {
         }
     }
 
-    fn send_buffer(&self, _dst: NodeId, data: &[u8]) {
+    fn send_buffer(&self, _dst: NodeId, data: &[u8]) -> MadResult<()> {
         self.ops.lock().push(Op::Send(data.to_vec()));
+        Ok(())
     }
 
-    fn send_buffer_group(&self, _dst: NodeId, bufs: &[&[u8]]) {
+    fn send_buffer_group(&self, _dst: NodeId, bufs: &[&[u8]]) -> MadResult<()> {
         self.ops
             .lock()
             .push(Op::SendGroup(bufs.iter().map(|b| b.to_vec()).collect()));
+        Ok(())
     }
 
-    fn send_gather(&self, dst: NodeId, bufs: &[&[u8]]) {
+    fn send_gather(&self, dst: NodeId, bufs: &[&[u8]]) -> MadResult<()> {
         if self.gather {
             self.ops
                 .lock()
                 .push(Op::SendGather(bufs.iter().map(|b| b.to_vec()).collect()));
+            Ok(())
         } else {
             // A TM without native gather relies on the trait default.
-            self.send_buffer_group(dst, bufs);
+            self.send_buffer_group(dst, bufs)
         }
     }
 
-    fn send_static_buffer(&self, _dst: NodeId, buf: StaticBuf) {
+    fn send_static_buffer(&self, _dst: NodeId, buf: StaticBuf) -> MadResult<()> {
         self.ops.lock().push(Op::SendStatic(buf.filled().to_vec()));
+        Ok(())
     }
 
-    fn receive_buffer(&self, _src: NodeId, dst: &mut [u8]) {
+    fn receive_buffer(&self, _src: NodeId, dst: &mut [u8]) -> MadResult<()> {
         let mut rx = self.rx.lock();
         let mut filled = 0;
         while filled < dst.len() {
@@ -107,11 +112,12 @@ impl TransmissionModule for MockTm {
             }
             filled += take;
         }
+        Ok(())
     }
 
-    fn receive_static_buffer(&self, _src: NodeId) -> StaticBuf {
+    fn receive_static_buffer(&self, _src: NodeId) -> MadResult<StaticBuf> {
         let data = self.rx.lock().pop_front().expect("mock rx underrun");
-        StaticBuf::shared(Bytes::from(data), 0)
+        Ok(StaticBuf::shared(Bytes::from(data), 0))
     }
 
     fn obtain_static_buffer(&self) -> StaticBuf {
@@ -159,10 +165,10 @@ fn eager_sends_each_block_immediately() {
     with_clock(|| {
         let tm = MockTm::new(false, usize::MAX);
         let mut bmm = send_bmm(SendPolicy::Eager, &tm);
-        bmm.pack(b"one", madeleine::SendMode::Cheaper);
+        bmm.pack(b"one", madeleine::SendMode::Cheaper).unwrap();
         assert_eq!(tm.ops(), vec![Op::Send(b"one".to_vec())]);
-        bmm.pack(b"two", madeleine::SendMode::Cheaper);
-        bmm.flush();
+        bmm.pack(b"two", madeleine::SendMode::Cheaper).unwrap();
+        bmm.flush().unwrap();
         assert_eq!(
             tm.ops(),
             vec![Op::Send(b"one".to_vec()), Op::Send(b"two".to_vec())]
@@ -175,12 +181,12 @@ fn eager_defers_later_blocks_and_preserves_order() {
     with_clock(|| {
         let tm = MockTm::new(false, usize::MAX);
         let mut bmm = send_bmm(SendPolicy::Eager, &tm);
-        bmm.pack(b"a", madeleine::SendMode::Cheaper);
-        bmm.pack(b"L", madeleine::SendMode::Later);
+        bmm.pack(b"a", madeleine::SendMode::Cheaper).unwrap();
+        bmm.pack(b"L", madeleine::SendMode::Later).unwrap();
         // A block behind a LATER block must not overtake it.
-        bmm.pack(b"b", madeleine::SendMode::Cheaper);
+        bmm.pack(b"b", madeleine::SendMode::Cheaper).unwrap();
         assert_eq!(tm.ops(), vec![Op::Send(b"a".to_vec())]);
-        bmm.flush();
+        bmm.flush().unwrap();
         assert_eq!(
             tm.ops(),
             vec![
@@ -199,10 +205,10 @@ fn aggregate_groups_blocks_into_one_flush() {
     with_clock(|| {
         let tm = MockTm::new(false, usize::MAX);
         let mut bmm = send_bmm(SendPolicy::Aggregate, &tm);
-        bmm.pack(b"aa", madeleine::SendMode::Cheaper);
-        bmm.pack(b"bbb", madeleine::SendMode::Cheaper);
+        bmm.pack(b"aa", madeleine::SendMode::Cheaper).unwrap();
+        bmm.pack(b"bbb", madeleine::SendMode::Cheaper).unwrap();
         assert!(tm.ops().is_empty(), "nothing leaves before commit");
-        bmm.flush();
+        bmm.flush().unwrap();
         assert_eq!(
             tm.ops(),
             vec![Op::SendGather(vec![b"aa".to_vec(), b"bbb".to_vec()])]
@@ -223,9 +229,9 @@ fn aggregate_flush_counts_native_gathers_only() {
             HostModel::default(),
             Arc::clone(&stats),
         );
-        bmm.pack(b"one", madeleine::SendMode::Cheaper);
-        bmm.pack(b"two", madeleine::SendMode::Cheaper);
-        bmm.flush();
+        bmm.pack(b"one", madeleine::SendMode::Cheaper).unwrap();
+        bmm.pack(b"two", madeleine::SendMode::Cheaper).unwrap();
+        bmm.flush().unwrap();
         assert_eq!(stats.gathers(), 1);
         assert_eq!(stats.borrowed_bytes(), 6, "both blocks read in place");
         assert_eq!(stats.copied_bytes(), 0);
@@ -241,9 +247,9 @@ fn aggregate_flush_counts_native_gathers_only() {
             HostModel::default(),
             Arc::clone(&stats),
         );
-        bmm.pack(b"one", madeleine::SendMode::Cheaper);
-        bmm.pack(b"two", madeleine::SendMode::Cheaper);
-        bmm.flush();
+        bmm.pack(b"one", madeleine::SendMode::Cheaper).unwrap();
+        bmm.pack(b"two", madeleine::SendMode::Cheaper).unwrap();
+        bmm.flush().unwrap();
         assert_eq!(stats.gathers(), 0);
         assert_eq!(
             tm.ops(),
@@ -264,14 +270,14 @@ fn aggregate_copies_safer_blocks() {
             HostModel::default(),
             Arc::clone(&stats),
         );
-        bmm.pack(b"capture-me", madeleine::SendMode::Safer);
+        bmm.pack(b"capture-me", madeleine::SendMode::Safer).unwrap();
         assert_eq!(stats.copies(), 1, "SAFER under aggregation must copy");
         assert_eq!(
             stats.pool_misses(),
             1,
             "the defensive copy is captured into pool memory"
         );
-        bmm.flush();
+        bmm.flush().unwrap();
         assert_eq!(tm.ops(), vec![Op::SendGather(vec![b"capture-me".to_vec()])]);
     });
 }
@@ -281,8 +287,8 @@ fn aggregate_flush_on_empty_is_harmless() {
     with_clock(|| {
         let tm = MockTm::new(false, usize::MAX);
         let mut bmm = send_bmm(SendPolicy::Aggregate, &tm);
-        bmm.flush();
-        bmm.flush();
+        bmm.flush().unwrap();
+        bmm.flush().unwrap();
         assert!(tm.ops().is_empty());
     });
 }
@@ -294,15 +300,15 @@ fn static_copy_fills_buffers_tightly() {
     with_clock(|| {
         let tm = MockTm::new(true, 8);
         let mut bmm = send_bmm(SendPolicy::StaticCopy, &tm);
-        bmm.pack(b"abc", madeleine::SendMode::Cheaper);
-        bmm.pack(b"defgh", madeleine::SendMode::Cheaper); // exactly fills 8
+        bmm.pack(b"abc", madeleine::SendMode::Cheaper).unwrap();
+        bmm.pack(b"defgh", madeleine::SendMode::Cheaper).unwrap(); // exactly fills 8
                                                           // A full buffer ships immediately.
         assert_eq!(
             tm.ops(),
             vec![Op::Obtain, Op::SendStatic(b"abcdefgh".to_vec())]
         );
-        bmm.pack(b"xy", madeleine::SendMode::Cheaper);
-        bmm.flush();
+        bmm.pack(b"xy", madeleine::SendMode::Cheaper).unwrap();
+        bmm.flush().unwrap();
         assert_eq!(
             tm.ops(),
             vec![
@@ -320,8 +326,8 @@ fn static_copy_splits_oversized_blocks() {
     with_clock(|| {
         let tm = MockTm::new(true, 4);
         let mut bmm = send_bmm(SendPolicy::StaticCopy, &tm);
-        bmm.pack(b"0123456789", madeleine::SendMode::Cheaper);
-        bmm.flush();
+        bmm.pack(b"0123456789", madeleine::SendMode::Cheaper).unwrap();
+        bmm.flush().unwrap();
         assert_eq!(
             tm.ops(),
             vec![
@@ -348,8 +354,8 @@ fn static_copy_charges_copies() {
             HostModel::default(),
             Arc::clone(&stats),
         );
-        bmm.pack(&[1u8; 40], madeleine::SendMode::Cheaper);
-        bmm.flush();
+        bmm.pack(&[1u8; 40], madeleine::SendMode::Cheaper).unwrap();
+        bmm.flush().unwrap();
         assert_eq!(stats.copied_bytes(), 40);
     });
 }
@@ -359,7 +365,7 @@ fn static_copy_exact_fill_leaves_no_residue() {
     with_clock(|| {
         let tm = MockTm::new(true, 8);
         let mut bmm = send_bmm(SendPolicy::StaticCopy, &tm);
-        bmm.pack(b"12345678", madeleine::SendMode::Cheaper);
+        bmm.pack(b"12345678", madeleine::SendMode::Cheaper).unwrap();
         // The exactly-full buffer ships on the spot...
         assert_eq!(
             tm.ops(),
@@ -367,7 +373,7 @@ fn static_copy_exact_fill_leaves_no_residue() {
         );
         // ...and the flush must not obtain, send, or release anything:
         // no empty trailing buffer exists.
-        bmm.flush();
+        bmm.flush().unwrap();
         assert_eq!(
             tm.ops(),
             vec![Op::Obtain, Op::SendStatic(b"12345678".to_vec())]
@@ -380,7 +386,7 @@ fn static_copy_exact_multiple_spans_three_full_buffers() {
     with_clock(|| {
         let tm = MockTm::new(true, 4);
         let mut bmm = send_bmm(SendPolicy::StaticCopy, &tm);
-        bmm.pack(b"0123456789ab", madeleine::SendMode::Cheaper);
+        bmm.pack(b"0123456789ab", madeleine::SendMode::Cheaper).unwrap();
         let full = vec![
             Op::Obtain,
             Op::SendStatic(b"0123".to_vec()),
@@ -390,7 +396,7 @@ fn static_copy_exact_multiple_spans_three_full_buffers() {
             Op::SendStatic(b"89ab".to_vec()),
         ];
         assert_eq!(tm.ops(), full);
-        bmm.flush();
+        bmm.flush().unwrap();
         assert_eq!(tm.ops(), full, "no fourth (empty) buffer after flush");
     });
 }
@@ -400,12 +406,12 @@ fn static_copy_later_block_packs_in_order_across_boundary() {
     with_clock(|| {
         let tm = MockTm::new(true, 4);
         let mut bmm = send_bmm(SendPolicy::StaticCopy, &tm);
-        bmm.pack(b"ab", madeleine::SendMode::Cheaper); // staged: 2/4
-        bmm.pack(b"LMN", madeleine::SendMode::Later); // deferred to flush
-        bmm.pack(b"xy", madeleine::SendMode::Cheaper); // queued behind it
+        bmm.pack(b"ab", madeleine::SendMode::Cheaper).unwrap(); // staged: 2/4
+        bmm.pack(b"LMN", madeleine::SendMode::Later).unwrap(); // deferred to flush
+        bmm.pack(b"xy", madeleine::SendMode::Cheaper).unwrap(); // queued behind it
                                                        // Nothing shipped: the partial buffer waits for the LATER block.
         assert_eq!(tm.ops(), vec![Op::Obtain]);
-        bmm.flush();
+        bmm.flush().unwrap();
         // Packing order a < L < b holds even though the LATER block
         // straddles the buffer boundary.
         assert_eq!(
@@ -431,9 +437,9 @@ fn recv_eager_defers_cheaper_until_checkout() {
         {
             let mut bmm = recv_bmm(SendPolicy::Eager, &tm);
             // Deferred: nothing pulled yet (rx still queued).
-            bmm.unpack(&mut buf, madeleine::RecvMode::Cheaper);
+            bmm.unpack(&mut buf, madeleine::RecvMode::Cheaper).unwrap();
             assert_eq!(tm.rx.lock().len(), 1);
-            bmm.checkout();
+            bmm.checkout().unwrap();
         }
         assert_eq!(&buf, b"hello");
     });
@@ -449,9 +455,9 @@ fn recv_express_drains_preceding_deferred_in_order() {
         let mut b = [0u8; 6];
         {
             let mut bmm = recv_bmm(SendPolicy::Eager, &tm);
-            bmm.unpack(&mut a, madeleine::RecvMode::Cheaper);
+            bmm.unpack(&mut a, madeleine::RecvMode::Cheaper).unwrap();
             // EXPRESS on the second block must first satisfy the first.
-            bmm.unpack_express_now(&mut b);
+            bmm.unpack_express_now(&mut b).unwrap();
         }
         assert_eq!(&a, b"first");
         assert_eq!(&b, b"second");
@@ -468,8 +474,8 @@ fn recv_static_extracts_across_buffer_boundaries() {
         let mut buf = [0u8; 10];
         {
             let mut bmm = recv_bmm(SendPolicy::StaticCopy, &tm);
-            bmm.unpack(&mut buf, madeleine::RecvMode::Cheaper);
-            bmm.checkout();
+            bmm.unpack(&mut buf, madeleine::RecvMode::Cheaper).unwrap();
+            bmm.checkout().unwrap();
         }
         assert_eq!(&buf, b"0123456789");
     });
@@ -483,7 +489,7 @@ fn recv_static_detects_asymmetry_at_checkout() {
         tm.queue_rx(b"12345678");
         let mut bmm = recv_bmm(SendPolicy::StaticCopy, &tm);
         let mut buf = [0u8; 3];
-        bmm.unpack(&mut buf, madeleine::RecvMode::Cheaper);
-        bmm.checkout(); // 5 bytes left unconsumed: contract violation
+        bmm.unpack(&mut buf, madeleine::RecvMode::Cheaper).unwrap();
+        let _ = bmm.checkout(); // 5 bytes left unconsumed: contract violation
     });
 }

@@ -30,6 +30,7 @@
 //! Nexus ports, the inter-cluster gateway) treats these stacks exactly like
 //! the vendor libraries the original system drove.
 
+pub mod fault;
 pub mod frame;
 pub mod mailbox;
 pub mod pci;
@@ -39,6 +40,7 @@ pub mod stacks;
 pub mod time;
 pub mod world;
 
+pub use fault::{FaultEvent, FaultPlan, FaultRecord, FaultState, LinkError};
 pub use frame::{Frame, NodeId};
 pub use pci::{BusDir, BusKind, PciBus, PciConfig};
 pub use perf::PerfCurve;

@@ -61,6 +61,28 @@ impl<T> Mailbox<T> {
         }
     }
 
+    /// [`recv_match`](Self::recv_match) with a *real-time* deadline:
+    /// returns `None` if no matching item arrived within `timeout`. The
+    /// fault-aware stacks use this to bound their ack waits — on the
+    /// no-fault path nothing ever times out, so the plain blocking
+    /// receives stay untouched.
+    pub fn recv_match_timeout(
+        &self,
+        mut pred: impl FnMut(&T) -> bool,
+        timeout: std::time::Duration,
+    ) -> Option<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = self.inner.queue.lock();
+        loop {
+            if let Some(pos) = q.iter().position(&mut pred) {
+                return q.remove(pos);
+            }
+            if self.inner.cond.wait_until(&mut q, deadline).timed_out() {
+                return q.iter().position(&mut pred).and_then(|pos| q.remove(pos));
+            }
+        }
+    }
+
     /// Non-blocking variant of [`recv_match`](Self::recv_match).
     pub fn try_recv_match(&self, mut pred: impl FnMut(&T) -> bool) -> Option<T> {
         let mut q = self.inner.queue.lock();

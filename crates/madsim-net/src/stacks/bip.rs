@@ -18,12 +18,14 @@
 //! (rendezvous + pinning) making the 8 kB point land near the paper's §6.2
 //! measurements once Madeleine's overhead is added on top.
 
+use crate::fault::LinkError;
 use crate::frame::{Frame, NodeId};
 use crate::pci::BusKind;
 use crate::stacks::{charge_dest_bus, charge_send_bus};
-use crate::time::{self, VDuration};
+use crate::time::{self, VDuration, VTime};
 use crate::world::{Adapter, NetKind};
 use bytes::Bytes;
+use std::time::Duration;
 
 /// Largest message accepted by the short path (exclusive bound is 1 kB in
 /// the paper; we accept exactly up to 1024 bytes).
@@ -205,6 +207,22 @@ impl Bip {
         self.finish_short(f).1
     }
 
+    /// [`recv_short_from`](Self::recv_short_from) with a *real-time*
+    /// deadline: `None` if nothing arrived within `timeout`. Fault-aware
+    /// callers use this to detect a dead credit source instead of hanging.
+    pub fn recv_short_from_timeout(
+        &self,
+        src: NodeId,
+        tag: u64,
+        timeout: Duration,
+    ) -> Option<Bytes> {
+        let f = self.adapter.inbox().recv_match_timeout(
+            |f| f.kind == KIND_SHORT && f.tag == tag && f.src == src,
+            timeout,
+        )?;
+        Some(self.finish_short(f).1)
+    }
+
     /// Non-blocking probe for a pending short message with `tag`.
     pub fn probe_short(&self, tag: u64) -> bool {
         count_queued_shorts_any_src(&self.adapter, self.node(), tag) > 0
@@ -224,14 +242,56 @@ impl Bip {
     /// long messages: the user buffer is reusable on return, so the call
     /// cannot complete before the NIC has read it all).
     pub fn send_long(&self, dst: NodeId, tag: u64, data: Bytes) {
-        let t = self.timing;
-        let me = self.node();
         // Wait for the receiver's clear-to-send.
         let cts = self
             .adapter
             .inbox()
             .recv_match(|f| f.kind == KIND_CTS && f.tag == tag && f.src == dst);
-        time::advance_to(cts.arrival);
+        self.send_long_after_cts(dst, tag, data, cts.arrival);
+    }
+
+    /// Fallible [`send_long`](Self::send_long): waits at most `timeout`
+    /// (real time) for the receiver's clear-to-send. `Err(Timeout)` means
+    /// the peer never posted its receive; `Err(PeerDead)` that it crashed
+    /// or is partitioned away. BIP has no retransmission — a rendezvous
+    /// that cannot complete marks the channel down at the layer above.
+    pub fn try_send_long(
+        &self,
+        dst: NodeId,
+        tag: u64,
+        data: Bytes,
+        timeout: Duration,
+    ) -> Result<(), LinkError> {
+        let me = self.node();
+        if let Some(faults) = self.adapter.faults() {
+            if !faults.reachable(me, dst) {
+                return Err(LinkError::PeerDead);
+            }
+        }
+        let cts = self
+            .adapter
+            .inbox()
+            .recv_match_timeout(|f| f.kind == KIND_CTS && f.tag == tag && f.src == dst, timeout);
+        match cts {
+            Some(cts) => {
+                self.send_long_after_cts(dst, tag, data, cts.arrival);
+                Ok(())
+            }
+            None => {
+                if self.adapter.faults().is_some_and(|f| !f.reachable(me, dst)) {
+                    Err(LinkError::PeerDead)
+                } else {
+                    Err(LinkError::Timeout)
+                }
+            }
+        }
+    }
+
+    /// Second half of a long send, once the CTS for it has been received.
+    fn send_long_after_cts(&self, dst: NodeId, tag: u64, data: Bytes, cts_arrival: VTime) {
+        let t = self.timing;
+        let me = self.node();
+        time::advance_to(cts_arrival);
 
         let oneway =
             VDuration::from_micros_f64(t.long_lat_us + data.len() as f64 * t.long_per_byte_us);
@@ -295,6 +355,38 @@ impl Bip {
         buf[..f.payload.len()].copy_from_slice(&f.payload);
         time::advance_to(f.arrival);
         f.payload.len()
+    }
+
+    /// [`recv_long_posted`](Self::recv_long_posted) with a *real-time*
+    /// deadline, distinguishing a crashed/partitioned sender from one that
+    /// is merely slow.
+    pub fn recv_long_posted_timeout(
+        &self,
+        src: NodeId,
+        tag: u64,
+        buf: &mut [u8],
+        timeout: Duration,
+    ) -> Result<usize, LinkError> {
+        let f = self
+            .adapter
+            .inbox()
+            .recv_match_timeout(|f| f.kind == KIND_LONG && f.tag == tag && f.src == src, timeout);
+        let Some(f) = f else {
+            let me = self.node();
+            if self.adapter.faults().is_some_and(|fa| !fa.reachable(me, src)) {
+                return Err(LinkError::PeerDead);
+            }
+            return Err(LinkError::Timeout);
+        };
+        assert!(
+            f.payload.len() <= buf.len(),
+            "BIP long message of {} bytes does not fit posted buffer of {}",
+            f.payload.len(),
+            buf.len()
+        );
+        buf[..f.payload.len()].copy_from_slice(&f.payload);
+        time::advance_to(f.arrival);
+        Ok(f.payload.len())
     }
 
     /// Uncontended one-way time of a long message of `len` bytes, counted

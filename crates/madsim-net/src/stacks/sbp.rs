@@ -9,16 +9,24 @@
 //! exactly what Madeleine II's `obtain_static_buffer`/`release_static_buffer`
 //! TM interface (Table 2) exists to accommodate.
 
+use crate::fault::{
+    LinkError, ARQ_MAX_RETRIES, ARQ_RECV_TIMEOUT_MS, ARQ_RTO_REAL_BASE_MS, ARQ_RTO_REAL_MAX_MS,
+    ARQ_RTO_VIRT_BASE_US, ARQ_RTO_VIRT_MAX_US,
+};
 use crate::frame::{Frame, NodeId};
 use crate::pci::BusKind;
 use crate::stacks::{charge_dest_bus, charge_send_bus};
-use crate::time::{self, VDuration};
+use crate::time::{self, VDuration, VTime};
 use crate::world::{Adapter, NetKind};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 const KIND_SBP: u16 = 30;
+/// Ack frames of the fault-armed ARQ (payload: 4-byte LE sequence number).
+const KIND_SBP_ACK: u16 = 31;
 
 /// Size of every SBP static buffer.
 pub const SBP_BUFFER_SIZE: usize = 32 * 1024;
@@ -81,6 +89,21 @@ impl Pool {
     }
 }
 
+/// Sequence number of an ack frame, if it is well-formed.
+fn sbp_ack_seq(f: &Frame) -> Option<u32> {
+    (f.payload.len() == 4)
+        .then(|| u32::from_le_bytes([f.payload[0], f.payload[1], f.payload[2], f.payload[3]]))
+}
+
+/// Sequence state for the fault-armed ARQ, one counter per `(peer, tag)`
+/// direction. Shared by all clones of an [`Sbp`] handle so the driver's
+/// send and poll sides agree on sequence numbers.
+#[derive(Default)]
+struct ArqState {
+    tx: Mutex<HashMap<(NodeId, u64), u32>>,
+    rx: Mutex<HashMap<(NodeId, u64), u32>>,
+}
+
 /// A node's handle on the SBP interface of an Ethernet adapter.
 #[derive(Clone)]
 pub struct Sbp {
@@ -88,6 +111,7 @@ pub struct Sbp {
     timing: SbpTiming,
     tx_pool: Arc<Pool>,
     rx_pool: Arc<Pool>,
+    arq: Arc<ArqState>,
 }
 
 impl Sbp {
@@ -110,6 +134,7 @@ impl Sbp {
             timing,
             tx_pool: Pool::new(SBP_POOL_SIZE),
             rx_pool: Pool::new(SBP_POOL_SIZE),
+            arq: Arc::new(ArqState::default()),
         }
     }
 
@@ -158,7 +183,107 @@ impl Sbp {
 
     /// Send a filled transmit buffer to `dst` under `tag`; the buffer
     /// returns to the pool once the NIC has drained it.
+    ///
+    /// # Panics
+    /// Panics if the fault-armed link dies (use [`try_send`](Self::try_send)
+    /// to handle that).
     pub fn send(&self, dst: NodeId, tag: u64, buf: SbpTxBuffer) {
+        if let Err(e) = self.try_send(dst, tag, buf) {
+            panic!("SBP send to node {dst} failed: {e}");
+        }
+    }
+
+    /// Fallible [`send`](Self::send). On a fault-free world this is the
+    /// original one-frame fast path and always returns `Ok(0)`; on a
+    /// fault-armed world the message carries a sequence prefix and is
+    /// retransmitted until acked. Returns the retransmission count.
+    pub fn try_send(&self, dst: NodeId, tag: u64, buf: SbpTxBuffer) -> Result<u64, LinkError> {
+        if !self.adapter.faulty() {
+            self.send_fast(dst, tag, &buf);
+            return Ok(0);
+        }
+        let faults = self
+            .adapter
+            .faults()
+            .cloned()
+            .expect("reliable path requires a fault plan");
+        let me = self.node();
+        let seq = {
+            let mut tx = self.arq.tx.lock();
+            let e = tx.entry((dst, tag)).or_insert(0);
+            let s = *e;
+            *e = e.wrapping_add(1);
+            s
+        };
+        let mut wire = Vec::with_capacity(4 + buf.len);
+        wire.extend_from_slice(&seq.to_le_bytes());
+        wire.extend_from_slice(&buf.data[..buf.len]);
+        let wire = Bytes::from(wire);
+        let t = self.timing;
+        let mut retransmits = 0u64;
+        let mut rto_real = Duration::from_millis(ARQ_RTO_REAL_BASE_MS);
+        let mut rto_virt_us = ARQ_RTO_VIRT_BASE_US;
+        loop {
+            if !faults.reachable(me, dst) {
+                return Err(LinkError::PeerDead);
+            }
+            let oneway = VDuration::from_micros_f64(t.lat_us + wire.len() as f64 * t.per_byte_us);
+            let bus_occ = VDuration::from_micros_f64(wire.len() as f64 * t.bus_per_byte_us);
+            let arrival = charge_send_bus(&self.adapter, BusKind::Dma, oneway, bus_occ);
+            let arrival = charge_dest_bus(&self.adapter, dst, BusKind::Dma, arrival, bus_occ);
+            self.adapter.send_raw(
+                dst,
+                Frame {
+                    src: me,
+                    kind: KIND_SBP,
+                    tag,
+                    arrival,
+                    payload: wire.clone(),
+                },
+            );
+            let deadline = Instant::now() + rto_real;
+            let acked = loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break None;
+                }
+                let f = self.adapter.inbox().recv_match_timeout(
+                    |f| {
+                        f.kind == KIND_SBP_ACK
+                            && f.src == dst
+                            && f.tag == tag
+                            && sbp_ack_seq(f).is_some_and(|s| s <= seq)
+                    },
+                    deadline - now,
+                );
+                match f {
+                    Some(f) if sbp_ack_seq(&f) == Some(seq) => break Some(f),
+                    Some(_) => continue,
+                    None => break None,
+                }
+            };
+            match acked {
+                Some(f) => {
+                    time::advance_to(f.arrival);
+                    time::advance(VDuration::from_micros_f64(t.pool_op_us));
+                    return Ok(retransmits);
+                }
+                None => {
+                    retransmits += 1;
+                    if retransmits > u64::from(ARQ_MAX_RETRIES) {
+                        return Err(LinkError::Timeout);
+                    }
+                    time::advance(VDuration::from_micros_f64(rto_virt_us));
+                    rto_virt_us = (rto_virt_us * 2.0).min(ARQ_RTO_VIRT_MAX_US);
+                    rto_real = (rto_real * 2).min(Duration::from_millis(ARQ_RTO_REAL_MAX_MS));
+                }
+            }
+        }
+        // `buf` drops here and its pool slot frees.
+    }
+
+    /// The original unconditional send path (no sequence prefix, no acks).
+    fn send_fast(&self, dst: NodeId, tag: u64, buf: &SbpTxBuffer) {
         let t = &self.timing;
         let len = buf.len;
         let oneway = VDuration::from_micros_f64(t.lat_us + len as f64 * t.per_byte_us);
@@ -177,23 +302,111 @@ impl Sbp {
             },
         );
         time::advance(VDuration::from_micros_f64(t.pool_op_us));
-        // `buf` drops here and its pool slot frees.
     }
 
     /// Receive the next message under `tag` from `src`, releasing the
     /// kernel buffer after handing its bytes out (a convenience for callers
     /// that copy out immediately, as Madeleine's StaticCopy policy does).
+    ///
+    /// # Panics
+    /// Panics if the fault-armed link dies.
     pub fn recv_from(&self, src: NodeId, tag: u64) -> Bytes {
-        self.rx_pool.take();
-        let f = self
+        match self.try_recv_from(src, tag) {
+            Ok(b) => b,
+            Err(e) => panic!("SBP receive from node {src} failed: {e}"),
+        }
+    }
+
+    /// Fallible [`recv_from`](Self::recv_from). On a fault-armed world the
+    /// sequence prefix is checked: in-order messages are acked and handed
+    /// out, duplicates are re-acked and discarded.
+    pub fn try_recv_from(&self, src: NodeId, tag: u64) -> Result<Bytes, LinkError> {
+        if !self.adapter.faulty() {
+            self.rx_pool.take();
+            let f = self
+                .adapter
+                .inbox()
+                .recv_match(|f| f.kind == KIND_SBP && f.tag == tag && f.src == src);
+            let t = &self.timing;
+            time::advance_to(f.arrival);
+            time::advance(VDuration::from_micros_f64(t.pool_op_us));
+            self.rx_pool.put();
+            return Ok(f.payload);
+        }
+        let faults = self
             .adapter
-            .inbox()
-            .recv_match(|f| f.kind == KIND_SBP && f.tag == tag && f.src == src);
-        let t = &self.timing;
-        time::advance_to(f.arrival);
-        time::advance(VDuration::from_micros_f64(t.pool_op_us));
-        self.rx_pool.put();
-        f.payload
+            .faults()
+            .cloned()
+            .expect("reliable path requires a fault plan");
+        let me = self.node();
+        let deadline = Instant::now() + Duration::from_millis(ARQ_RECV_TIMEOUT_MS);
+        loop {
+            let pending = self
+                .adapter
+                .inbox()
+                .try_recv_match(|f| f.kind == KIND_SBP && f.tag == tag && f.src == src);
+            let f = match pending {
+                Some(f) => f,
+                None => {
+                    if !faults.reachable(me, src) {
+                        return Err(LinkError::PeerDead);
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(LinkError::Timeout);
+                    }
+                    let slice = (deadline - now).min(Duration::from_millis(100));
+                    match self.adapter.inbox().recv_match_timeout(
+                        |f| f.kind == KIND_SBP && f.tag == tag && f.src == src,
+                        slice,
+                    ) {
+                        Some(f) => f,
+                        None => continue,
+                    }
+                }
+            };
+            if f.payload.len() < 4 {
+                continue;
+            }
+            let seq = u32::from_le_bytes([f.payload[0], f.payload[1], f.payload[2], f.payload[3]]);
+            let expected = {
+                let rx = self.arq.rx.lock();
+                rx.get(&(src, tag)).copied().unwrap_or(0)
+            };
+            if seq == expected {
+                self.arq.rx.lock().insert((src, tag), expected.wrapping_add(1));
+                self.send_ack(src, tag, seq, f.arrival);
+                self.rx_pool.take();
+                let t = &self.timing;
+                time::advance_to(f.arrival);
+                time::advance(VDuration::from_micros_f64(t.pool_op_us));
+                self.rx_pool.put();
+                return Ok(f.payload.slice(4..));
+            }
+            if seq < expected {
+                // Duplicate of a delivered message: re-ack and discard.
+                self.send_ack(src, tag, seq, f.arrival);
+            }
+        }
+    }
+
+    /// Ack `seq` back to `dst`. Acks ride the loss-exempt control path
+    /// ([`Adapter::send_raw_control`]) so an exchange's final ack cannot
+    /// vanish after the receiver has gone quiet; they carry no bus charge
+    /// — 4-byte control frames.
+    fn send_ack(&self, dst: NodeId, tag: u64, seq: u32, data_arrival: VTime) {
+        let arrival =
+            time::now().max(data_arrival) + VDuration::from_micros_f64(self.timing.lat_us);
+        self.adapter.send_raw_control(
+            dst,
+            Frame {
+                src: self.node(),
+                kind: KIND_SBP_ACK,
+                tag,
+                arrival,
+                payload: Bytes::copy_from_slice(&seq.to_le_bytes()),
+            },
+        );
     }
 
     /// Block until some node has a pending SBP message under `tag`; return
@@ -366,6 +579,34 @@ mod tests {
                 assert_eq!(sbp.rx_available(), SBP_POOL_SIZE);
             }
         });
+    }
+
+    #[test]
+    fn lossy_send_still_delivers_in_order() {
+        use crate::fault::FaultPlan;
+        let mut b = WorldBuilder::new(2).fault_plan(FaultPlan::new(11).drop_rate(0.05));
+        let net = b.network("eth0", NetKind::Ethernet, &[0, 1]);
+        let w = b.build();
+        let out = w.run(|env| {
+            let sbp = Sbp::new(env.adapter_on(net).unwrap());
+            if env.id() == 0 {
+                for i in 0..20u8 {
+                    let mut buf = sbp.obtain_tx();
+                    buf.fill(&[i; 100]);
+                    sbp.try_send(1, 5, buf).unwrap();
+                }
+                Vec::new()
+            } else {
+                let mut got = Vec::new();
+                for _ in 0..20 {
+                    let msg = sbp.try_recv_from(0, 5).unwrap();
+                    assert_eq!(msg.len(), 100);
+                    got.push(msg[0]);
+                }
+                got
+            }
+        });
+        assert_eq!(out[1], (0..20u8).collect::<Vec<_>>());
     }
 
     #[test]

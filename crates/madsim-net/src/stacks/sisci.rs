@@ -30,6 +30,7 @@ use crate::world::{Adapter, NetKind};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Calibrated timing constants for the SISCI stack (µs / µs-per-byte).
 #[derive(Clone, Copy, Debug)]
@@ -256,6 +257,42 @@ impl LocalSegment {
                 }
             }
             self.inner.cond.wait(&mut flags);
+        }
+    }
+
+    /// [`wait_flag_ge_val`](Self::wait_flag_ge_val) with a *real-time*
+    /// deadline: `None` if no satisfying write arrived within `timeout`.
+    /// Fault-aware protocols use this to turn a vanished peer (crashed or
+    /// partitioned mid-transfer) into a detectable channel-down condition
+    /// instead of a hang.
+    pub fn wait_flag_ge_val_timeout(
+        &self,
+        off: usize,
+        val: u32,
+        timeout: Duration,
+    ) -> Option<(u32, VTime)> {
+        let deadline = Instant::now() + timeout;
+        let mut flags = self.inner.flags.lock();
+        loop {
+            if let Some(m) = flags.get_mut(&off) {
+                if let Some((&v, &arr)) = m.range(val..).next() {
+                    let keep = m.split_off(&val);
+                    *m = keep;
+                    drop(flags);
+                    time::advance_to(arr);
+                    return Some((v, arr));
+                }
+            }
+            if self.inner.cond.wait_until(&mut flags, deadline).timed_out() {
+                // Final re-check under the lock before giving up.
+                let m = flags.get_mut(&off)?;
+                let (&v, &arr) = m.range(val..).next()?;
+                let keep = m.split_off(&val);
+                *m = keep;
+                drop(flags);
+                time::advance_to(arr);
+                return Some((v, arr));
+            }
         }
     }
 

@@ -5,7 +5,19 @@
 //! kernel stack, ~11 MiB/s). Madeleine II uses it both as a first-class
 //! protocol (the Nexus/Madeleine-TCP configuration of Fig. 7) and as the
 //! control/acknowledgment network of the gateway experiments (§6.2).
+//!
+//! When the world carries a [`FaultPlan`](crate::fault::FaultPlan), the
+//! stream runs a stop-and-wait ARQ: data frames carry a 4-byte sequence
+//! prefix, receivers ack every in-order segment and re-ack duplicates, and
+//! senders retransmit on timeout with exponential backoff (charging the
+//! modeled RTO to the virtual clock, so goodput degrades with loss rate).
+//! Without a plan the original unconditional fast path runs — no sequence
+//! numbers, no acks, zero overhead.
 
+use crate::fault::{
+    LinkError, ARQ_MAX_RETRIES, ARQ_RECV_TIMEOUT_MS, ARQ_RTO_REAL_BASE_MS, ARQ_RTO_REAL_MAX_MS,
+    ARQ_RTO_VIRT_BASE_US, ARQ_RTO_VIRT_MAX_US,
+};
 use crate::frame::{Frame, NodeId};
 use crate::pci::BusKind;
 use crate::stacks::{charge_dest_bus, charge_send_bus};
@@ -13,8 +25,14 @@ use crate::time::{self, VDuration, VTime};
 use crate::world::{Adapter, NetKind};
 use bytes::Bytes;
 use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
 const KIND_TCP: u16 = 10;
+/// Ack frames of the fault-armed ARQ (payload: 4-byte LE sequence number).
+const KIND_TCP_ACK: u16 = 11;
+/// Segment size of the fault-armed path: a lost frame costs one segment's
+/// retransmission, not the whole send.
+const ARQ_SEGMENT: usize = 64 * 1024;
 
 /// Calibrated timing constants for the TCP stack.
 #[derive(Clone, Copy, Debug)]
@@ -102,6 +120,8 @@ impl TcpStack {
             peer,
             port,
             rx: VecDeque::new(),
+            tx_seq: 0,
+            rx_seq: 0,
         }
     }
 }
@@ -114,6 +134,16 @@ pub struct TcpConn {
     port: u32,
     /// Reassembly queue: in-order received chunks not yet consumed.
     rx: VecDeque<(Bytes, VTime)>,
+    /// Next sequence number to send (fault-armed ARQ only).
+    tx_seq: u32,
+    /// Next sequence number expected (fault-armed ARQ only).
+    rx_seq: u32,
+}
+
+/// Sequence number of an ack frame, if it is well-formed.
+fn ack_seq(f: &Frame) -> Option<u32> {
+    (f.payload.len() == 4)
+        .then(|| u32::from_le_bytes([f.payload[0], f.payload[1], f.payload[2], f.payload[3]]))
 }
 
 impl TcpConn {
@@ -123,7 +153,112 @@ impl TcpConn {
 
     /// Send `data` down the stream. Returns once the socket buffer copy is
     /// done (the kernel drains asynchronously).
+    ///
+    /// # Panics
+    /// Panics if the fault-armed link dies (use [`try_send`](Self::try_send)
+    /// to handle that).
     pub fn send(&mut self, data: &[u8]) {
+        if let Err(e) = self.try_send(data) {
+            panic!("TCP send to node {} failed: {e}", self.peer);
+        }
+    }
+
+    /// Gathering send (`writev`): the chunks leave as one wire unit costing
+    /// a single latency, with no intermediate concatenation copy.
+    ///
+    /// # Panics
+    /// Panics if the fault-armed link dies.
+    pub fn send_vectored(&mut self, bufs: &[&[u8]]) {
+        if let Err(e) = self.try_send_vectored(bufs) {
+            panic!("TCP send to node {} failed: {e}", self.peer);
+        }
+    }
+
+    /// Receive exactly `buf.len()` bytes (blocking). Stream semantics: the
+    /// chunking of sends is invisible.
+    ///
+    /// # Panics
+    /// Panics if the fault-armed link dies.
+    pub fn recv_exact(&mut self, buf: &mut [u8]) {
+        if let Err(e) = self.try_recv_exact(buf) {
+            panic!("TCP receive from node {} failed: {e}", self.peer);
+        }
+    }
+
+    /// Fallible [`send`](Self::send). On a fault-free world this is the
+    /// original single-frame fast path and always returns `Ok(0)`; on a
+    /// fault-armed world the stream is segmented and each segment runs
+    /// stop-and-wait with retransmission. Returns the number of
+    /// retransmissions performed.
+    pub fn try_send(&mut self, data: &[u8]) -> Result<u64, LinkError> {
+        if !self.adapter.faulty() {
+            self.send_fast(data);
+            return Ok(0);
+        }
+        let mut retransmits = 0;
+        if data.is_empty() {
+            return self.send_segment_reliable(data);
+        }
+        for chunk in data.chunks(ARQ_SEGMENT) {
+            retransmits += self.send_segment_reliable(chunk)?;
+        }
+        Ok(retransmits)
+    }
+
+    /// Fallible [`send_vectored`](Self::send_vectored). Returns the number
+    /// of retransmissions performed (always 0 on a fault-free world).
+    pub fn try_send_vectored(&mut self, bufs: &[&[u8]]) -> Result<u64, LinkError> {
+        if !self.adapter.faulty() {
+            self.send_vectored_fast(bufs);
+            return Ok(0);
+        }
+        // The reliable path needs contiguous segments anyway; concatenate
+        // once and reuse the segmented sender.
+        let total: usize = bufs.iter().map(|b| b.len()).sum();
+        let mut all = Vec::with_capacity(total);
+        for b in bufs {
+            all.extend_from_slice(b);
+        }
+        self.try_send(&all)
+    }
+
+    /// Fallible [`recv_exact`](Self::recv_exact): `Err` if the fault-armed
+    /// peer became unreachable or stopped retransmitting.
+    pub fn try_recv_exact(&mut self, buf: &mut [u8]) -> Result<(), LinkError> {
+        let reliable = self.adapter.faulty();
+        let mut filled = 0;
+        let mut latest = VTime::ZERO;
+        while filled < buf.len() {
+            if self.rx.is_empty() {
+                if reliable {
+                    self.recv_segment_reliable()?;
+                } else {
+                    let (peer, port) = (self.peer, self.port as u64);
+                    let f = self
+                        .adapter
+                        .inbox()
+                        .recv_match(|f| f.kind == KIND_TCP && f.src == peer && f.tag == port);
+                    self.rx.push_back((f.payload, f.arrival));
+                }
+            }
+            let (chunk, arr) = self.rx.front_mut().expect("just filled");
+            let take = (buf.len() - filled).min(chunk.len());
+            buf[filled..filled + take].copy_from_slice(&chunk[..take]);
+            latest = latest.max(*arr);
+            filled += take;
+            if take == chunk.len() {
+                self.rx.pop_front();
+            } else {
+                let rest = chunk.slice(take..);
+                self.rx.front_mut().expect("non-empty").0 = rest;
+            }
+        }
+        time::advance_to(latest);
+        Ok(())
+    }
+
+    /// The original unconditional send path (no sequence numbers, no acks).
+    fn send_fast(&mut self, data: &[u8]) {
         let t = &self.timing;
         let oneway = VDuration::from_micros_f64(t.lat_us + data.len() as f64 * t.per_byte_us);
         let bus_occ = VDuration::from_micros_f64(data.len() as f64 * t.bus_per_byte_us);
@@ -142,9 +277,8 @@ impl TcpConn {
         time::advance(VDuration::from_micros_f64(t.host_send_us));
     }
 
-    /// Gathering send (`writev`): the chunks leave as one wire unit costing
-    /// a single latency, with no intermediate concatenation copy.
-    pub fn send_vectored(&mut self, bufs: &[&[u8]]) {
+    /// The original unconditional vectored send path.
+    fn send_vectored_fast(&mut self, bufs: &[&[u8]]) {
         let total: usize = bufs.iter().map(|b| b.len()).sum();
         let t = &self.timing;
         let oneway = VDuration::from_micros_f64(t.lat_us + total as f64 * t.per_byte_us);
@@ -168,31 +302,164 @@ impl TcpConn {
         time::advance(VDuration::from_micros_f64(t.host_send_us));
     }
 
-    /// Receive exactly `buf.len()` bytes (blocking). Stream semantics: the
-    /// chunking of sends is invisible.
-    pub fn recv_exact(&mut self, buf: &mut [u8]) {
-        let mut filled = 0;
-        let mut latest = VTime::ZERO;
-        while filled < buf.len() {
-            if self.rx.is_empty() {
-                let f = self.adapter.inbox().recv_match(|f| {
-                    f.kind == KIND_TCP && f.src == self.peer && f.tag == self.port as u64
-                });
-                self.rx.push_back((f.payload, f.arrival));
+    /// Stop-and-wait transmission of one segment: send (charging the bus
+    /// model per attempt), await the matching ack with a real-time RTO,
+    /// retransmit on timeout with exponential backoff. Each retransmission
+    /// also charges the *modeled* RTO to the virtual clock.
+    fn send_segment_reliable(&mut self, data: &[u8]) -> Result<u64, LinkError> {
+        let faults = self
+            .adapter
+            .faults()
+            .cloned()
+            .expect("reliable path requires a fault plan");
+        let me = self.adapter.node();
+        let (peer, port) = (self.peer, self.port as u64);
+        let seq = self.tx_seq;
+        self.tx_seq = self.tx_seq.wrapping_add(1);
+        let mut wire = Vec::with_capacity(4 + data.len());
+        wire.extend_from_slice(&seq.to_le_bytes());
+        wire.extend_from_slice(data);
+        let wire = Bytes::from(wire);
+        let t = self.timing;
+        let mut retransmits = 0u64;
+        let mut rto_real = Duration::from_millis(ARQ_RTO_REAL_BASE_MS);
+        let mut rto_virt_us = ARQ_RTO_VIRT_BASE_US;
+        loop {
+            if !faults.reachable(me, peer) {
+                return Err(LinkError::PeerDead);
             }
-            let (chunk, arr) = self.rx.front_mut().expect("just filled");
-            let take = (buf.len() - filled).min(chunk.len());
-            buf[filled..filled + take].copy_from_slice(&chunk[..take]);
-            latest = latest.max(*arr);
-            filled += take;
-            if take == chunk.len() {
-                self.rx.pop_front();
-            } else {
-                let rest = chunk.slice(take..);
-                self.rx.front_mut().expect("non-empty").0 = rest;
+            let oneway = VDuration::from_micros_f64(t.lat_us + wire.len() as f64 * t.per_byte_us);
+            let bus_occ = VDuration::from_micros_f64(wire.len() as f64 * t.bus_per_byte_us);
+            let arrival = charge_send_bus(&self.adapter, BusKind::Dma, oneway, bus_occ);
+            let arrival = charge_dest_bus(&self.adapter, peer, BusKind::Dma, arrival, bus_occ);
+            self.adapter.send_raw(
+                peer,
+                Frame {
+                    src: me,
+                    kind: KIND_TCP,
+                    tag: port,
+                    arrival,
+                    payload: wire.clone(),
+                },
+            );
+            time::advance(VDuration::from_micros_f64(t.host_send_us));
+            // Drain acks until ours arrives or the RTO expires. Stale
+            // duplicate acks (seq < ours) are consumed and ignored.
+            let deadline = Instant::now() + rto_real;
+            let acked = loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    break None;
+                }
+                let f = self.adapter.inbox().recv_match_timeout(
+                    |f| {
+                        f.kind == KIND_TCP_ACK
+                            && f.src == peer
+                            && f.tag == port
+                            && ack_seq(f).is_some_and(|s| s <= seq)
+                    },
+                    deadline - now,
+                );
+                match f {
+                    Some(f) if ack_seq(&f) == Some(seq) => break Some(f),
+                    Some(_) => continue,
+                    None => break None,
+                }
+            };
+            match acked {
+                Some(f) => {
+                    time::advance_to(f.arrival);
+                    return Ok(retransmits);
+                }
+                None => {
+                    retransmits += 1;
+                    if retransmits > u64::from(ARQ_MAX_RETRIES) {
+                        return Err(LinkError::Timeout);
+                    }
+                    time::advance(VDuration::from_micros_f64(rto_virt_us));
+                    rto_virt_us = (rto_virt_us * 2.0).min(ARQ_RTO_VIRT_MAX_US);
+                    rto_real = (rto_real * 2).min(Duration::from_millis(ARQ_RTO_REAL_MAX_MS));
+                }
             }
         }
-        time::advance_to(latest);
+    }
+
+    /// Pull the next in-order segment off the wire into the reassembly
+    /// queue, acking it; duplicates of already-delivered segments are
+    /// re-acked (their ack may have been lost) and discarded.
+    fn recv_segment_reliable(&mut self) -> Result<(), LinkError> {
+        let faults = self
+            .adapter
+            .faults()
+            .cloned()
+            .expect("reliable path requires a fault plan");
+        let me = self.adapter.node();
+        let (peer, port) = (self.peer, self.port as u64);
+        let deadline = Instant::now() + Duration::from_millis(ARQ_RECV_TIMEOUT_MS);
+        loop {
+            let pending = self
+                .adapter
+                .inbox()
+                .try_recv_match(|f| f.kind == KIND_TCP && f.src == peer && f.tag == port);
+            let f = match pending {
+                Some(f) => f,
+                None => {
+                    if !faults.reachable(me, peer) {
+                        return Err(LinkError::PeerDead);
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(LinkError::Timeout);
+                    }
+                    // Wait in short slices so a peer crash mid-wait is
+                    // noticed promptly.
+                    let slice = (deadline - now).min(Duration::from_millis(100));
+                    match self.adapter.inbox().recv_match_timeout(
+                        |f| f.kind == KIND_TCP && f.src == peer && f.tag == port,
+                        slice,
+                    ) {
+                        Some(f) => f,
+                        None => continue,
+                    }
+                }
+            };
+            if f.payload.len() < 4 {
+                continue;
+            }
+            let seq = u32::from_le_bytes([f.payload[0], f.payload[1], f.payload[2], f.payload[3]]);
+            if seq == self.rx_seq {
+                self.rx_seq = self.rx_seq.wrapping_add(1);
+                self.send_ack(seq, f.arrival);
+                self.rx.push_back((f.payload.slice(4..), f.arrival));
+                return Ok(());
+            }
+            if seq < self.rx_seq {
+                // Duplicate of a delivered segment: the original ack was
+                // lost or the frame was duplicated in flight. Re-ack.
+                self.send_ack(seq, f.arrival);
+            }
+            // seq > rx_seq cannot happen under stop-and-wait; drop it.
+        }
+    }
+
+    /// Ack `seq` back to the peer. Acks ride the loss-exempt control path
+    /// ([`Adapter::send_raw_control`]): data-frame loss alone drives the
+    /// retransmission machinery, and the final ack of an exchange cannot
+    /// vanish after the receiver has gone quiet. They carry no bus charge
+    /// — 4-byte control frames.
+    fn send_ack(&self, seq: u32, data_arrival: VTime) {
+        let arrival =
+            time::now().max(data_arrival) + VDuration::from_micros_f64(self.timing.lat_us);
+        self.adapter.send_raw_control(
+            self.peer,
+            Frame {
+                src: self.adapter.node(),
+                kind: KIND_TCP_ACK,
+                tag: self.port as u64,
+                arrival,
+                payload: Bytes::copy_from_slice(&seq.to_le_bytes()),
+            },
+        );
     }
 }
 
@@ -300,6 +567,44 @@ mod tests {
         });
         assert_eq!(out[1][0], b"on-one");
         assert_eq!(out[1][1], b"on-two");
+    }
+
+    #[test]
+    fn lossy_stream_still_delivers() {
+        use crate::fault::FaultPlan;
+        let mut b = WorldBuilder::new(2).fault_plan(FaultPlan::new(7).drop_rate(0.05));
+        let net = b.network("eth0", NetKind::Ethernet, &[0, 1]);
+        let w = b.build();
+        let out = w.run(|env| {
+            let tcp = TcpStack::new(env.adapter_on(net).unwrap());
+            if env.id() == 0 {
+                let mut c = tcp.connect(1, 9);
+                let data: Vec<u8> = (0..200_000).map(|i| (i % 251) as u8).collect();
+                c.try_send(&data).unwrap();
+                Vec::new()
+            } else {
+                let mut c = tcp.connect(0, 9);
+                let mut buf = vec![0u8; 200_000];
+                c.try_recv_exact(&mut buf).unwrap();
+                buf
+            }
+        });
+        assert!(out[1].iter().enumerate().all(|(i, &x)| x == (i % 251) as u8));
+    }
+
+    #[test]
+    fn send_to_crashed_peer_fails_fast() {
+        use crate::fault::FaultPlan;
+        let mut b = WorldBuilder::new(2).fault_plan(FaultPlan::new(1).crash(1));
+        let net = b.network("eth0", NetKind::Ethernet, &[0, 1]);
+        let w = b.build();
+        w.run(|env| {
+            if env.id() == 0 {
+                let tcp = TcpStack::new(env.adapter_on(net).unwrap());
+                let mut c = tcp.connect(1, 9);
+                assert_eq!(c.try_send(b"x"), Err(LinkError::PeerDead));
+            }
+        });
     }
 
     #[test]

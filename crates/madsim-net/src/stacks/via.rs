@@ -9,6 +9,7 @@
 //! level permitting). The simulation enforces this as a panic so that the
 //! Madeleine VIA transmission module must get its preposting right.
 
+use crate::fault::LinkError;
 use crate::frame::{Frame, NodeId};
 use crate::pci::BusKind;
 use crate::stacks::{charge_dest_bus, charge_send_bus};
@@ -19,6 +20,7 @@ use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicIsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 const KIND_VIA: u16 = 20;
 
@@ -226,6 +228,50 @@ impl Vi {
         );
         time::advance_to(f.arrival);
         f.payload
+    }
+
+    /// Whether the underlying adapter has a fault plan armed (callers use
+    /// this to decide between blocking and bounded waits).
+    pub fn faulty(&self) -> bool {
+        self.adapter.faulty()
+    }
+
+    /// [`recv`](Self::recv) with a *real-time* deadline. On expiry the
+    /// posted descriptor stays posted; `Err(PeerDead)` reports a crashed
+    /// or partitioned peer, `Err(Timeout)` one that is merely silent.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Bytes, LinkError> {
+        let me = self.adapter.node();
+        if let Some(faults) = self.adapter.faults() {
+            if !faults.reachable(me, self.peer) {
+                return Err(LinkError::PeerDead);
+            }
+        }
+        let f = self.adapter.inbox().recv_match_timeout(
+            |f| f.kind == KIND_VIA && f.src == self.peer && f.tag == self.tag,
+            timeout,
+        );
+        let Some(f) = f else {
+            let dead = self
+                .adapter
+                .faults()
+                .is_some_and(|fa| !fa.reachable(me, self.peer));
+            return Err(if dead {
+                LinkError::PeerDead
+            } else {
+                LinkError::Timeout
+            });
+        };
+        let cap = self
+            .posted_caps
+            .pop_front()
+            .expect("VIA recv with no posted descriptor on this end");
+        assert!(
+            f.payload.len() <= cap,
+            "VIA message of {} bytes exceeds descriptor capacity {cap}",
+            f.payload.len()
+        );
+        time::advance_to(f.arrival);
+        Ok(f.payload)
     }
 }
 

@@ -6,10 +6,11 @@
 //! Clusters-of-clusters configurations are expressed naturally: a gateway
 //! node is simply a member of two networks (paper §6).
 
+use crate::fault::{FaultPlan, FaultState};
 use crate::frame::{Frame, NodeId};
 use crate::mailbox::Mailbox;
 use crate::pci::{PciBus, PciConfig};
-use crate::time::{self, ClockHandle};
+use crate::time::{self, ClockHandle, VDuration, VTime};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
@@ -47,6 +48,7 @@ pub struct WorldBuilder {
     n_nodes: usize,
     networks: Vec<NetworkSpec>,
     pci_cfg: PciConfig,
+    faults: Option<FaultPlan>,
 }
 
 impl WorldBuilder {
@@ -56,12 +58,22 @@ impl WorldBuilder {
             n_nodes,
             networks: Vec::new(),
             pci_cfg: PciConfig::default(),
+            faults: None,
         }
     }
 
     /// Override the per-node host-bus contention constants.
     pub fn pci_config(mut self, cfg: PciConfig) -> Self {
         self.pci_cfg = cfg;
+        self
+    }
+
+    /// Attach a seeded fault schedule. Adapters in the built world inject
+    /// faults per [`FaultPlan`]; protocol stacks arm their recovery
+    /// machinery (acks, timeouts). Without a plan the fabric is perfectly
+    /// reliable and the fast path carries zero recovery overhead.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -118,6 +130,7 @@ impl WorldBuilder {
             n_nodes: self.n_nodes,
             networks,
             buses,
+            faults: self.faults.as_ref().map(FaultPlan::build),
         }
     }
 }
@@ -139,11 +152,18 @@ pub struct World {
     n_nodes: usize,
     networks: Vec<BuiltNetwork>,
     buses: Arc<Vec<PciBus>>,
+    faults: Option<Arc<FaultState>>,
 }
 
 impl World {
     pub fn n_nodes(&self) -> usize {
         self.n_nodes
+    }
+
+    /// The fault layer's runtime state, if a [`FaultPlan`] was attached:
+    /// the deterministic fault log, totals, and the dynamic crash switch.
+    pub fn faults(&self) -> Option<&Arc<FaultState>> {
+        self.faults.as_ref()
     }
 
     fn env_for(&self, node: NodeId, barrier: Arc<Barrier>) -> NodeEnv {
@@ -162,6 +182,7 @@ impl World {
                 mailboxes: Arc::clone(&net.mailboxes),
                 pci: self.buses[node].clone(),
                 all_buses: Arc::clone(&self.buses),
+                faults: self.faults.clone(),
             })
             .collect();
         let topology = Arc::new(
@@ -177,6 +198,7 @@ impl World {
             pci: self.buses[node].clone(),
             barrier,
             topology,
+            faults: self.faults.clone(),
         }
     }
 
@@ -229,11 +251,17 @@ pub struct NodeEnv {
     /// World topology: every network's (name, kind, members) — global
     /// configuration knowledge every node legitimately has.
     topology: Arc<Vec<TopologyEntry>>,
+    faults: Option<Arc<FaultState>>,
 }
 
 impl NodeEnv {
     pub fn id(&self) -> NodeId {
         self.node
+    }
+
+    /// The world's fault layer, if one is installed.
+    pub fn faults(&self) -> Option<&Arc<FaultState>> {
+        self.faults.as_ref()
     }
 
     pub fn n_nodes(&self) -> usize {
@@ -318,6 +346,7 @@ pub struct Adapter {
     mailboxes: Arc<HashMap<NodeId, Mailbox<Frame>>>,
     pci: PciBus,
     all_buses: Arc<Vec<PciBus>>,
+    faults: Option<Arc<FaultState>>,
 }
 
 impl Adapter {
@@ -362,16 +391,71 @@ impl Adapter {
         &self.all_buses[node]
     }
 
+    /// Is a fault plan installed in this world? Stacks use this to arm
+    /// their recovery machinery (acks, timeouts) only when faults are
+    /// possible, keeping the reliable-fabric fast path untouched.
+    pub fn faulty(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The world's fault layer, if one is installed.
+    pub fn faults(&self) -> Option<&Arc<FaultState>> {
+        self.faults.as_ref()
+    }
+
     /// Deliver a frame to `dst`'s inbound mailbox on this network.
+    ///
+    /// When a fault plan is installed, the frame first rolls against the
+    /// deterministic fault engine: it may be dropped, duplicated, delayed,
+    /// or stalled (see [`crate::fault`]).
     ///
     /// # Panics
     /// Panics if `dst` is not a member of this network — the simulated wire
     /// does not reach it.
     pub fn send_raw(&self, dst: NodeId, frame: Frame) {
+        self.send_judged(dst, frame, false);
+    }
+
+    /// [`send_raw`](Self::send_raw) for acknowledgment/control frames the
+    /// protocol models as reliably delivered: the seeded loss roll is
+    /// skipped (crashes, partitions, stalls, duplication and jitter still
+    /// apply).
+    ///
+    /// The stop-and-wait stacks send their acks through this so the
+    /// *final* ack of an exchange cannot be lost against a receiver that
+    /// has already gone quiet — data-frame loss alone exercises their
+    /// retransmission paths, and termination stays deterministic.
+    ///
+    /// # Panics
+    /// Panics if `dst` is not a member of this network.
+    pub fn send_raw_control(&self, dst: NodeId, frame: Frame) {
+        self.send_judged(dst, frame, true);
+    }
+
+    fn send_judged(&self, dst: NodeId, mut frame: Frame, control: bool) {
         let mb = self
             .mailboxes
             .get(&dst)
             .unwrap_or_else(|| panic!("node {dst} is not on network {:?}", self.name));
+        if let Some(faults) = &self.faults {
+            let v = if control {
+                faults.judge_control(self.net.0, self.node, dst)
+            } else {
+                faults.judge(self.net.0, self.node, dst)
+            };
+            if v.stall_ns > 0 {
+                time::advance(VDuration::from_micros_f64(v.stall_ns as f64 / 1_000.0));
+            }
+            if !v.deliver {
+                return;
+            }
+            if v.delay_ns > 0 {
+                frame.arrival = VTime::from_nanos(frame.arrival.as_nanos() + v.delay_ns);
+            }
+            if v.duplicate {
+                mb.push(frame.clone());
+            }
+        }
         mb.push(frame);
     }
 

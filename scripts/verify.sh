@@ -9,4 +9,12 @@ cargo test -q
 cargo clippy --all-targets -- -D warnings
 cargo fmt --all -- --check
 
+# Chaos stage: the robustness layer under seeded fault injection, run
+# explicitly so a regression here is named even when the suite is filtered.
+cargo test -q -p mad-integration --test chaos
+
+# Zero-fault regression guard: without a FaultPlan the recovery machinery
+# must stay entirely out of the fast path — every fault counter reads zero.
+cargo test -q -p mad-integration --test chaos -- --exact zero_fault_runs_count_nothing
+
 echo "verify: all checks passed"

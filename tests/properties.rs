@@ -255,9 +255,19 @@ proptest! {
 
     /// Fragment headers round-trip for every field value.
     #[test]
-    fn frag_headers_roundtrip(src in 0usize..256, dst in 0usize..256, len in 0usize..(1 << 24)) {
+    fn frag_headers_roundtrip(
+        src in 0usize..256,
+        dst in 0usize..256,
+        len in 0usize..(1 << 24),
+        offset in 0usize..(1 << 24),
+    ) {
         use mad_gateway::FragHeader;
-        let h = FragHeader { src, dst, len };
+        let h = FragHeader {
+            src,
+            dst,
+            len,
+            offset,
+        };
         prop_assert_eq!(FragHeader::decode(&h.encode()), h);
     }
 
