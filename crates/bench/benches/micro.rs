@@ -3,7 +3,7 @@
 //! runs — not the modeled network time.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use madeleine::{Config, Madeleine, Protocol, RecvMode, SendMode};
+use madeleine::{Config, Connections, Madeleine, Protocol, RecvMode, SendMode};
 use madsim_net::{NetKind, WorldBuilder};
 
 /// A whole two-node SISCI session bootstrap.
@@ -59,5 +59,72 @@ fn bench_message_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(micro, bench_session_init, bench_message_throughput);
+/// The connection layer's sequence-number claim under two-thread
+/// contention, each thread hammering a *different* peer — the case the
+/// old channel-global `Mutex<HashMap>` serialized and the per-connection
+/// atomics do not. The mutexed variant reproduced here is the pre-refactor
+/// data structure, kept as the baseline.
+fn bench_seq_contention(c: &mut Criterion) {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    const CLAIMS: usize = 100_000;
+    let mut g = c.benchmark_group("seq_claim_2threads_distinct_peers");
+    g.throughput(Throughput::Elements(2 * CLAIMS as u64));
+
+    // Two threads claim CLAIMS sequence numbers each, toward peers 1 and
+    // 2, synchronized on a start flag so the contention window overlaps.
+    fn race(claim: impl Fn(usize) + Sync) {
+        let start = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = [1usize, 2]
+                .into_iter()
+                .map(|peer| {
+                    let start = &start;
+                    let claim = &claim;
+                    s.spawn(move || {
+                        while !start.load(Ordering::Acquire) {
+                            std::hint::spin_loop();
+                        }
+                        for _ in 0..CLAIMS {
+                            claim(peer);
+                        }
+                    })
+                })
+                .collect();
+            start.store(true, Ordering::Release);
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    }
+
+    g.bench_function("mutex_hashmap_baseline", |b| {
+        b.iter(|| {
+            let seqs: Mutex<HashMap<usize, u32>> = Mutex::new(HashMap::new());
+            race(|peer| {
+                let mut map = seqs.lock().unwrap();
+                let e = map.entry(peer).or_insert(0);
+                *e = e.wrapping_add(1);
+            });
+        })
+    });
+    g.bench_function("per_connection_atomics", |b| {
+        b.iter(|| {
+            let conns = Connections::new(0, &[0, 1, 2]);
+            race(|peer| {
+                conns.get(peer).unwrap().next_send_seq();
+            });
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    micro,
+    bench_session_init,
+    bench_message_throughput,
+    bench_seq_contention
+);
 criterion_main!(micro);

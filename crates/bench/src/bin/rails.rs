@@ -1,0 +1,96 @@
+//! Multirail bandwidth sweep: one bulk CHEAPER message over a BIP channel
+//! spanning 1→4 Myrinet rails, on both the paper-calibrated stack and a
+//! Myrinet-class retiming with a faster host bus. Prints two tables and
+//! writes the raw numbers to `BENCH_rails.json`.
+//!
+//! The single-rail default-timing row is the pre-multirail library's
+//! figure — the refactor must not move it. On the retimed stack two rails
+//! must deliver at least 1.7x the single-rail bandwidth for 1 MB messages
+//! (checked below); on the paper stack they must NOT, because the shared
+//! 32-bit/33 MHz PCI bus was the bottleneck in 1999.
+//!
+//! Usage: `rails [--out PATH] [--bytes N]`
+
+use bench::experiments::{multirail_oneway, myrinet_class_timing, RailPoint};
+
+#[derive(serde::Serialize)]
+struct Output {
+    bytes: usize,
+    paper_bus: Vec<RailPoint>,
+    fast_bus: Vec<RailPoint>,
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn print_sweep(title: &str, points: &[RailPoint]) {
+    println!("== {title} ==");
+    println!(
+        "{:>6} {:>12} {:>10} {:>8} {:>10} {:>20}",
+        "rails", "virtual us", "MiB/s", "stripes", "imbalance", "per-rail KiB"
+    );
+    for p in points {
+        let per_rail: Vec<String> = p
+            .rail_bytes
+            .iter()
+            .map(|b| format!("{}", b >> 10))
+            .collect();
+        println!(
+            "{:>6} {:>12.1} {:>10.2} {:>8} {:>10.3} {:>20}",
+            p.rails,
+            p.virtual_us,
+            p.bandwidth_mibps,
+            p.stripes,
+            p.rail_imbalance,
+            per_rail.join("/")
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_rails.json".into());
+    let bytes: usize = arg_value(&args, "--bytes")
+        .map(|v| v.parse().expect("--bytes takes a byte count"))
+        .unwrap_or(1 << 20);
+
+    let sweep = |timing: Option<madsim_net::stacks::bip::BipTiming>| -> Vec<RailPoint> {
+        (1..=4)
+            .map(|rails| multirail_oneway(timing, rails, bytes))
+            .collect()
+    };
+
+    let paper_bus = sweep(None);
+    print_sweep("paper-calibrated stack (PCI-bound)", &paper_bus);
+    let fast_bus = sweep(Some(myrinet_class_timing()));
+    print_sweep("Myrinet-class retimed bus", &fast_bus);
+
+    // Single-rail channels must never stripe — the classic path is pinned.
+    for p in paper_bus.iter().chain(&fast_bus) {
+        if p.rails == 1 {
+            assert_eq!(p.stripes, 0, "a single-rail channel striped");
+        }
+    }
+    // The tentpole claim: two rails on a bus that can feed them deliver
+    // >= 1.7x the single-rail bandwidth for 1 MB messages.
+    let one = fast_bus[0].bandwidth_mibps;
+    let two = fast_bus[1].bandwidth_mibps;
+    assert!(
+        two >= 1.7 * one,
+        "2-rail speedup {:.2}x below 1.7x ({one:.1} -> {two:.1} MiB/s)",
+        two / one
+    );
+    println!("2-rail speedup on the retimed bus: {:.2}x", two / one);
+
+    let out = Output {
+        bytes,
+        paper_bus,
+        fast_bus,
+    };
+    let json = serde_json::to_string_pretty(&out).expect("serialize results");
+    std::fs::write(&out_path, json).expect("write results");
+    eprintln!("wrote {out_path}");
+}

@@ -397,3 +397,75 @@ fn gateway_node_gets_no_endpoint_handle() {
         }
     });
 }
+
+/// Forwarding over a *multirail* leaf: the Myrinet cluster spans two rails
+/// per node and its channel is declared `with_rails(2)`. The gateway
+/// forwards hop traffic over the channel's rail-0 PMM (single-rail by
+/// contract), so inter-cluster messages must arrive byte-identical and
+/// unstriped; direct bulk traffic on the same channel afterwards must
+/// stripe across both rails.
+#[test]
+fn forwarding_over_a_two_rail_leaf() {
+    use madeleine::ChannelSpec;
+    let mut b = WorldBuilder::new(5);
+    b.network("sci0", NetKind::Sci, &[0, 1, 2]);
+    b.network_with_rails("myr0", NetKind::Myrinet, &[2, 3, 4], 2);
+    let world = b.build();
+    let config = Config::one("sci", "sci0", Protocol::Sisci).with_channel_spec(
+        ChannelSpec::new("myr", "myr0", Protocol::Bip)
+            .with_rails(2)
+            .with_striping(16 * 1024, 8 * 1024),
+    );
+    const LEN: usize = 150_000;
+    world.run(move |env| {
+        let mad = Madeleine::init(&env, &config);
+        let spec = VirtualChannelSpec::new("vc", &["sci", "myr"], 64 * 1024);
+        let gw = Gateway::spawn(&env, &mad, &config, &spec);
+        let vc = VirtualChannel::open(&env, &mad, &config, &spec);
+        if env.id() == 0 {
+            let vc = vc.expect("endpoint");
+            let data = patterned(LEN, 11);
+            let mut msg = vc.begin_packing(4);
+            msg.pack(&data, SendMode::Cheaper, RecvMode::Cheaper);
+            msg.end_packing();
+        } else if env.id() == 4 {
+            let vc = vc.expect("endpoint");
+            let mut got = vec![0u8; LEN];
+            let mut msg = vc.begin_unpacking();
+            assert_eq!(msg.src(), 0);
+            msg.unpack(&mut got, SendMode::Cheaper, RecvMode::Cheaper);
+            msg.end_unpacking();
+            assert_eq!(got, patterned(LEN, 11));
+        }
+        env.barrier();
+        if let Some(gw) = gw {
+            gw.stop();
+        }
+        env.barrier();
+        // With the gateway quiesced, drive a bulk message straight over the
+        // multirail "myr" channel: this one must stripe across both rails.
+        // Only nodes 2..4 are members of that channel.
+        if env.id() == 3 {
+            let ch = mad.channel("myr");
+            let data = patterned(LEN, 12);
+            let mut msg = ch.begin_packing(4);
+            msg.pack(&data, SendMode::Cheaper, RecvMode::Cheaper);
+            msg.end_packing();
+            assert!(
+                ch.stats().stripes() >= 1,
+                "bulk CHEAPER block never striped"
+            );
+            let (_, rail1_bytes) = ch.stats().rail_traffic(1);
+            assert!(rail1_bytes > 0, "rail 1 carried no stripe traffic");
+        } else if env.id() == 4 {
+            let ch = mad.channel("myr");
+            let mut got = vec![0u8; LEN];
+            let mut msg = ch.begin_unpacking();
+            assert_eq!(msg.src(), 3);
+            msg.unpack(&mut got, SendMode::Cheaper, RecvMode::Cheaper);
+            msg.end_unpacking();
+            assert_eq!(got, patterned(LEN, 12));
+        }
+        env.barrier();
+    });
+}

@@ -10,12 +10,26 @@
 //! | `mad_unpack` | [`IncomingMessage::unpack`] |
 //! | `mad_end_unpacking` | [`IncomingMessage::end_unpacking`] |
 //!
+//! The channel stack has three layers:
+//!
+//! * [`crate::connection`] — per-peer ordering state (sequence numbers,
+//!   stripe-block counters) in lock-free atomics;
+//! * [`crate::rail`] — one adapter's worth of machinery (PMM + TMs +
+//!   buffer pool) and the stripe engine;
+//! * [`Channel`] (this module) — the pack/unpack API, owning `1..N`
+//!   rails and the `RailScheduler` that routes traffic across them.
+//!
 //! The Switch Module logic lives in `pack`/`unpack`: each packet is routed
 //! to the TM chosen by the PMM; when the chosen TM differs from the previous
 //! packet's, the previous TM's BMM is flushed (*commit*) before the new one
 //! takes over, so delivery order is preserved across transfer methods; the
 //! final `end_packing` performs the terminal commit (mirrored by *checkout*
-//! on the receive side).
+//! on the receive side). On a multirail channel a message's ordinary blocks
+//! ride its connection's *home rail*; large CHEAPER blocks are striped
+//! across every alive rail (see [`crate::rail`]) after the home rail's BMM
+//! is committed, so per-connection order still holds. A single-rail channel
+//! takes exactly the pre-multirail code paths: same locks, same copies,
+//! same trace stream.
 //!
 //! ### The internal message header
 //!
@@ -25,21 +39,23 @@
 //! rides the protocol's small-message path and announces the message to the
 //! peer immediately. The header is how `begin_unpacking` learns the sender
 //! of the next incoming message — and doubles as a wire-level integrity
-//! check (sequence gaps and interleaving corruption panic loudly).
+//! check (sequence gaps and interleaving corruption panic loudly). It
+//! travels on the home rail, which is how the receiver learns which rail
+//! carries the rest of the message's un-striped blocks.
 
 use crate::bmm::{RecvBmm, SendBmm};
 use crate::config::HostModel;
+use crate::connection::Connections;
 use crate::error::{MadError, MadResult};
 use crate::flags::{RecvMode, SendMode};
 use crate::pmm::Pmm;
 use crate::pool::{BufPool, PooledBuf};
+use crate::rail::{self, Rail, RailScheduler, StripeCtx};
 use crate::stats::{Stats, StatsSnapshot};
 use crate::tm::TmId;
 use crate::trace::{TraceEvent, Tracer};
 use madsim_net::time::{self, VDuration};
 use madsim_net::NodeId;
-use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -48,23 +64,26 @@ const HEADER_MAGIC: u32 = 0x4D41_4432; // "MAD2"
 pub const HEADER_LEN: usize = 16;
 
 /// A closed world for communication (paper §2.1): a set of point-to-point
-/// connections over one network interface and adapter. In-order delivery is
-/// guaranteed per connection within a channel.
+/// connections over one network interface and `1..N` adapters (rails).
+/// In-order delivery is guaranteed per connection within a channel.
 pub struct Channel {
     name: String,
-    pmm: Arc<dyn Pmm>,
+    /// The rails, indexed by rail id. Single-rail channels behave exactly
+    /// like the pre-multirail library.
+    rails: Vec<Rail>,
+    sched: RailScheduler,
+    /// Per-peer ordering state (frozen table, atomics inside).
+    conns: Connections,
     me: NodeId,
     peers: Vec<NodeId>,
     stats: Arc<Stats>,
     host: HostModel,
     /// Channel-lifetime buffer pool: headers, SAFER captures, and (via the
     /// session's driver wiring) protocol static buffers all draw from here,
-    /// so steady-state traffic reuses warm slabs across messages.
+    /// so steady-state traffic reuses warm slabs across messages. On a
+    /// multirail channel this is rail 0's pool; each further rail has its
+    /// own (see [`Rail::pool`]).
     pool: BufPool,
-    /// Next message sequence number per destination.
-    send_seq: Mutex<HashMap<NodeId, u32>>,
-    /// Expected next sequence number per source.
-    recv_seq: Mutex<HashMap<NodeId, u32>>,
     /// Outgoing messages begun but not yet finalized (must stay ≤ 1:
     /// forgetting `end_packing` would silently lose queued blocks).
     open_tx: AtomicUsize,
@@ -74,6 +93,9 @@ pub struct Channel {
     /// the protocol drivers so TMs can record fault-recovery events
     /// (retransmissions, credit timeouts) into the channel's stream.
     tracer: Arc<Tracer>,
+    /// Base of this channel's stripe-ack demultiplexing tags (the channel
+    /// index within the session config; see [`crate::rail`]).
+    ack_base: u64,
 }
 
 impl Channel {
@@ -103,19 +125,46 @@ impl Channel {
         pool: BufPool,
         tracer: Arc<Tracer>,
     ) -> Arc<Self> {
+        let rails = vec![Rail::new(0, pmm, pool.clone(), None)];
+        let sched = RailScheduler::new(
+            crate::config::DEFAULT_STRIPE_THRESHOLD,
+            crate::config::DEFAULT_STRIPE_CHUNK,
+        );
+        Self::multirail(name, rails, sched, me, peers, host, stats, pool, tracer, 0)
+    }
+
+    /// The general constructor: a channel over `rails.len()` rails. The
+    /// session builds one driver stack per adapter and passes them here;
+    /// every other constructor is the single-rail special case.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn multirail(
+        name: String,
+        rails: Vec<Rail>,
+        sched: RailScheduler,
+        me: NodeId,
+        peers: Vec<NodeId>,
+        host: HostModel,
+        stats: Arc<Stats>,
+        pool: BufPool,
+        tracer: Arc<Tracer>,
+        ack_base: u64,
+    ) -> Arc<Self> {
+        assert!(!rails.is_empty(), "a channel needs at least one rail");
+        let conns = Connections::new(me, &peers);
         Arc::new(Channel {
             name,
-            pmm,
+            rails,
+            sched,
+            conns,
             me,
             peers,
             stats,
             host,
             pool,
-            send_seq: Mutex::new(HashMap::new()),
-            recv_seq: Mutex::new(HashMap::new()),
             open_tx: AtomicUsize::new(0),
             open_rx: AtomicUsize::new(0),
             tracer,
+            ack_base,
         })
     }
 
@@ -171,15 +220,26 @@ impl Channel {
         &self.stats
     }
 
-    /// The channel-lifetime buffer pool.
+    /// The channel-lifetime buffer pool (rail 0's on multirail channels).
     pub fn pool(&self) -> &BufPool {
         &self.pool
     }
 
-    /// The protocol module driving this channel (exposed for extensions
-    /// such as the inter-cluster gateway).
+    /// The protocol module driving this channel — rail 0's on a multirail
+    /// channel (exposed for extensions such as the inter-cluster gateway,
+    /// which are single-rail by contract).
     pub fn pmm(&self) -> &Arc<dyn Pmm> {
-        &self.pmm
+        self.rails[0].pmm()
+    }
+
+    /// The channel's rails, indexed by rail id.
+    pub fn rails(&self) -> &[Rail] {
+        &self.rails
+    }
+
+    /// The per-peer connection table.
+    pub fn connections(&self) -> &Connections {
+        &self.conns
     }
 
     /// The host-side cost model of this channel's session.
@@ -195,6 +255,21 @@ impl Channel {
     /// The channel's tracer (query recorded events, clear, disable).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The stripe engine's borrowed view of this channel for one striped
+    /// block from `sender` (see [`crate::rail`] for the ack-tag scheme).
+    fn stripe_ctx(&self, sender: NodeId, block: u64) -> StripeCtx<'_> {
+        StripeCtx {
+            rails: &self.rails,
+            sched: &self.sched,
+            me: self.me,
+            stats: &self.stats,
+            tracer: &self.tracer,
+            ack_tag: (self.ack_base << 40)
+                | ((sender as u64 & 0xFFF) << 28)
+                | (block & 0x0FFF_FFFF),
+        }
     }
 
     /// Initiate a new outgoing message to `dst` (paper: `mad_begin_packing`).
@@ -214,7 +289,9 @@ impl Channel {
     /// [`begin_packing`](Self::begin_packing) that surfaces transport
     /// failures (the internal header is transmitted eagerly, so a dead
     /// peer is detected here). Membership violations still panic: they
-    /// are API misuse, not fabric faults.
+    /// are API misuse, not fabric faults. On a multirail channel a header
+    /// that fails to send quarantines its rail and retries on the
+    /// survivors before giving up.
     pub fn begin_packing_checked<'a>(&self, dst: NodeId) -> MadResult<OutgoingMessage<'_, 'a>> {
         assert!(
             self.peers.contains(&dst),
@@ -234,14 +311,18 @@ impl Channel {
             self.name
         );
         time::advance(VDuration::from_micros_f64(self.host.begin_op_us));
-        let seq = {
-            let mut m = self.send_seq.lock();
-            let s = m.entry(dst).or_insert(0);
-            let cur = *s;
-            *s += 1;
-            cur
+        let conn = self.conns.get(dst).expect("membership asserted above");
+        let seq = conn.next_send_seq();
+        let multirail = self.rails.len() > 1;
+        let rail = if multirail {
+            self.sched.home_rail(conn.index(), &self.rails)
+        } else {
+            0
         };
         self.tracer.record(TraceEvent::BeginPacking { dst });
+        if multirail {
+            self.tracer.record(TraceEvent::RailSelect { dst, rail });
+        }
         let stats_at_begin = if self.tracer.is_enabled() {
             Some(self.stats.snapshot())
         } else {
@@ -250,42 +331,67 @@ impl Channel {
         let mut msg = OutgoingMessage {
             chan: self,
             dst,
+            rail,
             cur_tm: None,
             bmm: None,
             done: false,
             stats_at_begin,
         };
-        // The header is built directly in pooled memory: no stack staging
-        // array, no per-message allocation — a warm 64-byte slab per send.
-        let mut header = self.pool.checkout(HEADER_LEN);
-        {
-            let h = header.spare_mut();
-            h[0..4].copy_from_slice(&HEADER_MAGIC.to_le_bytes());
-            h[4..8].copy_from_slice(&(self.me as u32).to_le_bytes());
-            h[8..12].copy_from_slice(&seq.to_le_bytes());
-            // Reserved tail: recycled slabs carry stale bytes, and the
-            // whole header goes on the wire.
-            h[12..HEADER_LEN].fill(0);
-        }
-        header.advance(HEADER_LEN);
-        if let Err(e) = msg.pack_internal(header) {
+        let mut attempts = 0;
+        loop {
+            // The header is built directly in pooled memory: no stack
+            // staging array, no per-message allocation — a warm 64-byte
+            // slab per send.
+            let mut header = self.pool.checkout(HEADER_LEN);
+            {
+                let h = header.spare_mut();
+                h[0..4].copy_from_slice(&HEADER_MAGIC.to_le_bytes());
+                h[4..8].copy_from_slice(&(self.me as u32).to_le_bytes());
+                h[8..12].copy_from_slice(&seq.to_le_bytes());
+                // Reserved tail: recycled slabs carry stale bytes, and the
+                // whole header goes on the wire.
+                h[12..HEADER_LEN].fill(0);
+            }
+            header.advance(HEADER_LEN);
+            let e = match msg.pack_internal(header) {
+                Ok(()) => return Ok(msg),
+                Err(e) => e,
+            };
+            attempts += 1;
+            // Multirail failover: a header that could not be sent marks
+            // its rail down; the message restarts on the survivors. Wire
+            // corruption is not a rail failure, so it is not retried.
+            if multirail && !matches!(e, MadError::CorruptStream(_)) && attempts < self.rails.len()
+            {
+                self.rails[msg.rail].quarantine(&self.stats, &self.tracer);
+                msg.cur_tm = None;
+                msg.bmm = None;
+                let next = self.sched.home_rail(conn.index(), &self.rails);
+                if self.rails[next].is_alive() {
+                    msg.rail = next;
+                    self.tracer
+                        .record(TraceEvent::RailSelect { dst, rail: next });
+                    continue;
+                }
+            }
             msg.abort();
             return Err(e);
         }
-        Ok(msg)
     }
 
     /// Has some peer started sending a message on this channel? (A `true`
     /// guarantees the next [`begin_unpacking`](Self::begin_unpacking) will
     /// not block waiting for an announcement.)
     pub fn has_incoming(&self) -> bool {
-        self.pmm.poll_incoming().is_some()
+        self.rails
+            .iter()
+            .any(|r| r.is_alive() && r.pmm().poll_incoming().is_some())
     }
 
     /// Non-blocking [`begin_unpacking`](Self::begin_unpacking): `None`
     /// when no message has been announced yet.
     pub fn try_begin_unpacking<'a>(&self) -> Option<IncomingMessage<'_, 'a>> {
-        if self.pmm.poll_incoming().is_some() {
+        if self.has_incoming() {
             Some(self.begin_unpacking())
         } else {
             None
@@ -322,11 +428,19 @@ impl Channel {
             self.name
         );
         time::advance(VDuration::from_micros_f64(self.host.begin_op_us));
-        let src = self.pmm.wait_incoming();
+        // The announcing header rides the sender's home rail, which makes
+        // the rail that announced the message the rail that carries its
+        // un-striped blocks — no negotiation needed.
+        let (src, rail) = if self.rails.len() == 1 {
+            (self.rails[0].pmm().wait_incoming(), 0)
+        } else {
+            self.wait_incoming_multirail()
+        };
         self.tracer.record(TraceEvent::BeginUnpacking { src });
         let mut msg = IncomingMessage {
             chan: self,
             src,
+            rail,
             cur_tm: None,
             bmm: None,
             done: false,
@@ -337,6 +451,22 @@ impl Channel {
                 msg.abort();
                 Err(e)
             }
+        }
+    }
+
+    /// Poll every alive rail for an announced message (multirail only —
+    /// a single rail uses its PMM's blocking wait directly).
+    fn wait_incoming_multirail(&self) -> (NodeId, usize) {
+        loop {
+            for r in &self.rails {
+                if !r.is_alive() {
+                    continue;
+                }
+                if let Some(src) = r.pmm().poll_incoming() {
+                    return (src, r.id());
+                }
+            }
+            std::thread::yield_now();
         }
     }
 
@@ -363,16 +493,17 @@ impl Channel {
             )));
         }
         let seq = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
-        {
-            let mut m = self.recv_seq.lock();
-            let expect = m.entry(src).or_insert(0);
-            if seq != *expect {
-                return Err(MadError::corrupt(format!(
-                    "message sequence gap from node {src} on channel {:?}",
-                    self.name
-                )));
-            }
-            *expect += 1;
+        let Some(conn) = self.conns.get(src) else {
+            return Err(MadError::corrupt(format!(
+                "message from node {src}, which is not a member of channel {:?}",
+                self.name
+            )));
+        };
+        if !conn.accept_recv_seq(seq) {
+            return Err(MadError::corrupt(format!(
+                "message sequence gap from node {src} on channel {:?}",
+                self.name
+            )));
         }
         Ok(())
     }
@@ -387,6 +518,8 @@ impl Channel {
 pub struct OutgoingMessage<'c, 'a> {
     chan: &'c Channel,
     dst: NodeId,
+    /// Home rail of this message (0 on single-rail channels).
+    rail: usize,
     cur_tm: Option<TmId>,
     bmm: Option<SendBmm<'a>>,
     done: bool,
@@ -399,6 +532,11 @@ impl<'c, 'a> OutgoingMessage<'c, 'a> {
     /// Destination node of this message.
     pub fn dst(&self) -> NodeId {
         self.dst
+    }
+
+    /// The rail carrying this message's un-striped blocks.
+    pub fn rail(&self) -> usize {
+        self.rail
     }
 
     /// Append one block to the message (paper: `mad_pack`).
@@ -423,11 +561,34 @@ impl<'c, 'a> OutgoingMessage<'c, 'a> {
     }
 
     fn pack_inner(&mut self, data: &'a [u8], smode: SendMode, rmode: RecvMode) -> MadResult<()> {
-        assert!(!self.done, "pack after end_packing (or after a failed pack)");
+        assert!(
+            !self.done,
+            "pack after end_packing (or after a failed pack)"
+        );
         time::advance(VDuration::from_micros_f64(self.chan.host.pack_op_us));
-        let tm = self.chan.pmm.select(data.len(), smode, rmode);
+        let chan = self.chan;
+        if chan
+            .sched
+            .should_stripe(data.len(), smode, rmode, chan.rails.len())
+        {
+            // Commit the home rail's BMM first so the striped block takes
+            // its place in the per-connection order (the receiver mirrors
+            // this with a checkout before reassembly).
+            if let Some(mut old) = self.bmm.take() {
+                old.flush()?;
+            }
+            self.cur_tm = None;
+            let conn = chan
+                .conns
+                .get(self.dst)
+                .expect("membership checked at begin");
+            let ctx = chan.stripe_ctx(chan.me, conn.next_tx_stripe_block());
+            return rail::stripe_send(&ctx, self.dst, data);
+        }
+        let pmm = chan.rails[self.rail].pmm();
+        let tm = pmm.select(data.len(), smode, rmode);
         self.switch_to(tm)?;
-        self.chan.tracer.record(TraceEvent::Pack {
+        chan.tracer.record(TraceEvent::Pack {
             len: data.len(),
             smode,
             rmode,
@@ -465,9 +626,13 @@ impl<'c, 'a> OutgoingMessage<'c, 'a> {
     }
 
     fn pack_safer_inner(&mut self, data: &[u8], rmode: RecvMode) -> MadResult<()> {
-        assert!(!self.done, "pack after end_packing (or after a failed pack)");
+        assert!(
+            !self.done,
+            "pack after end_packing (or after a failed pack)"
+        );
         time::advance(VDuration::from_micros_f64(self.chan.host.pack_op_us));
-        self.switch_to(self.chan.pmm.select(data.len(), SendMode::Safer, rmode))?;
+        let pmm = self.chan.rails[self.rail].pmm();
+        self.switch_to(pmm.select(data.len(), SendMode::Safer, rmode))?;
         let bmm = self.bmm.as_mut().expect("switched");
         bmm.pack_safer_now(data)?;
         if rmode == RecvMode::Express {
@@ -478,11 +643,8 @@ impl<'c, 'a> OutgoingMessage<'c, 'a> {
 
     /// Pack a library-internal block (always `(CHEAPER, EXPRESS)`).
     fn pack_internal(&mut self, data: PooledBuf) -> MadResult<()> {
-        self.switch_to(
-            self.chan
-                .pmm
-                .select(data.len(), SendMode::Cheaper, RecvMode::Express),
-        )?;
+        let pmm = self.chan.rails[self.rail].pmm();
+        self.switch_to(pmm.select(data.len(), SendMode::Cheaper, RecvMode::Express))?;
         let bmm = self.bmm.as_mut().expect("switched");
         bmm.pack_pooled(data)?;
         bmm.flush()
@@ -501,15 +663,16 @@ impl<'c, 'a> OutgoingMessage<'c, 'a> {
                 to: tm,
             });
         }
+        let rail = &self.chan.rails[self.rail];
         self.cur_tm = Some(tm);
         self.bmm = Some(SendBmm::with_pool(
-            self.chan.pmm.policy(tm),
-            self.chan.pmm.tm(tm),
+            rail.pmm().policy(tm),
+            rail.pmm().tm(tm),
             tm,
             self.dst,
             self.chan.host,
             Arc::clone(&self.chan.stats),
-            self.chan.pool.clone(),
+            rail.pool().clone(),
         ));
         Ok(())
     }
@@ -527,7 +690,9 @@ impl<'c, 'a> OutgoingMessage<'c, 'a> {
     }
 
     /// Finalize the message (paper: `mad_end_packing`): every packed block
-    /// is guaranteed flushed to the network when this returns.
+    /// is guaranteed flushed to the network when this returns. A striped
+    /// block was already committed on every rail it touched when `pack`
+    /// returned, so the terminal commit here only covers the home rail.
     ///
     /// # Panics
     /// Panics on transport failure (see
@@ -572,6 +737,8 @@ impl<'c, 'a> OutgoingMessage<'c, 'a> {
 pub struct IncomingMessage<'c, 'a> {
     chan: &'c Channel,
     src: NodeId,
+    /// The rail the message was announced on (the sender's home rail).
+    rail: usize,
     cur_tm: Option<TmId>,
     bmm: Option<RecvBmm<'a>>,
     done: bool,
@@ -581,6 +748,11 @@ impl<'c, 'a> IncomingMessage<'c, 'a> {
     /// The sending node.
     pub fn src(&self) -> NodeId {
         self.src
+    }
+
+    /// The rail carrying this message's un-striped blocks.
+    pub fn rail(&self) -> usize {
+        self.rail
     }
 
     /// Extract one block (paper: `mad_unpack`). The `(smode, rmode)` pair
@@ -625,9 +797,28 @@ impl<'c, 'a> IncomingMessage<'c, 'a> {
             "unpack after end_unpacking (or after a failed unpack)"
         );
         time::advance(VDuration::from_micros_f64(self.chan.host.pack_op_us));
-        let tm = self.chan.pmm.select(dst.len(), smode, rmode);
+        let chan = self.chan;
+        if chan
+            .sched
+            .should_stripe(dst.len(), smode, rmode, chan.rails.len())
+        {
+            // Mirror of the sender's pre-stripe commit: check out the
+            // home rail's BMM, then reassemble the striped block.
+            if let Some(mut old) = self.bmm.take() {
+                old.checkout()?;
+            }
+            self.cur_tm = None;
+            let conn = chan
+                .conns
+                .get(self.src)
+                .expect("membership checked at begin");
+            let ctx = chan.stripe_ctx(self.src, conn.next_rx_stripe_block());
+            return rail::stripe_recv(&ctx, self.src, dst);
+        }
+        let pmm = chan.rails[self.rail].pmm();
+        let tm = pmm.select(dst.len(), smode, rmode);
         self.switch_to(tm)?;
-        self.chan.tracer.record(TraceEvent::Unpack {
+        chan.tracer.record(TraceEvent::Unpack {
             len: dst.len(),
             smode,
             rmode,
@@ -663,7 +854,8 @@ impl<'c, 'a> IncomingMessage<'c, 'a> {
             "unpack after end_unpacking (or after a failed unpack)"
         );
         time::advance(VDuration::from_micros_f64(self.chan.host.pack_op_us));
-        let tm = self.chan.pmm.select(dst.len(), smode, RecvMode::Express);
+        let pmm = self.chan.rails[self.rail].pmm();
+        let tm = pmm.select(dst.len(), smode, RecvMode::Express);
         self.switch_to(tm)?;
         self.chan.tracer.record(TraceEvent::Unpack {
             len: dst.len(),
@@ -676,11 +868,8 @@ impl<'c, 'a> IncomingMessage<'c, 'a> {
 
     /// Unpack a library-internal block (mirror of `pack_internal`).
     fn unpack_internal(&mut self, dst: &mut [u8]) -> MadResult<()> {
-        self.switch_to(
-            self.chan
-                .pmm
-                .select(dst.len(), SendMode::Cheaper, RecvMode::Express),
-        )?;
+        let pmm = self.chan.rails[self.rail].pmm();
+        self.switch_to(pmm.select(dst.len(), SendMode::Cheaper, RecvMode::Express))?;
         self.bmm.as_mut().expect("switched").unpack_express_now(dst)
     }
 
@@ -696,10 +885,11 @@ impl<'c, 'a> IncomingMessage<'c, 'a> {
                 to: tm,
             });
         }
+        let rail = &self.chan.rails[self.rail];
         self.cur_tm = Some(tm);
         self.bmm = Some(RecvBmm::new(
-            self.chan.pmm.policy(tm),
-            self.chan.pmm.tm(tm),
+            rail.pmm().policy(tm),
+            rail.pmm().tm(tm),
             self.src,
             self.chan.host,
             Arc::clone(&self.chan.stats),

@@ -25,17 +25,35 @@ pub enum Protocol {
     Sbp,
 }
 
+/// Default length above which a large CHEAPER block is striped across a
+/// multirail channel's rails.
+pub const DEFAULT_STRIPE_THRESHOLD: usize = 256 * 1024;
+/// Default stripe chunk size (MTU-ish for the simulated gigabit-class
+/// fabrics: big enough to amortize the per-chunk header and rendezvous,
+/// small enough that 1 MB blocks spread over four rails).
+pub const DEFAULT_STRIPE_CHUNK: usize = 128 * 1024;
+
 /// Declaration of one communication channel (paper §2.1): a closed world of
-/// point-to-point connections bound to one network interface and adapter.
+/// point-to-point connections bound to one network interface and `rails`
+/// adapters of that network.
 #[derive(Clone, Debug)]
 pub struct ChannelSpec {
     /// Channel name, unique within a session.
     pub name: String,
     /// Name of the network (as declared to the `WorldBuilder`) whose
-    /// adapter carries this channel.
+    /// adapters carry this channel.
     pub network: String,
     /// Protocol stack to drive.
     pub protocol: Protocol,
+    /// Number of rails (adapters) the channel spans. Every member node
+    /// must own at least this many adapters on the network. `1` (the
+    /// default) is the classic single-adapter channel.
+    pub rails: usize,
+    /// Large CHEAPER blocks at least this long are striped across the
+    /// rails (ignored when `rails == 1`).
+    pub stripe_threshold: usize,
+    /// Chunk size of the stripe engine.
+    pub stripe_chunk: usize,
 }
 
 impl ChannelSpec {
@@ -44,7 +62,25 @@ impl ChannelSpec {
             name: name.to_string(),
             network: network.to_string(),
             protocol,
+            rails: 1,
+            stripe_threshold: DEFAULT_STRIPE_THRESHOLD,
+            stripe_chunk: DEFAULT_STRIPE_CHUNK,
         }
+    }
+
+    /// Span the channel over `rails` adapters of its network.
+    pub fn with_rails(mut self, rails: usize) -> Self {
+        assert!(rails >= 1, "a channel needs at least one rail");
+        self.rails = rails;
+        self
+    }
+
+    /// Override the stripe engine's threshold and chunk size.
+    pub fn with_striping(mut self, threshold: usize, chunk: usize) -> Self {
+        assert!(threshold > 0 && chunk > 0, "stripe sizes must be positive");
+        self.stripe_threshold = threshold;
+        self.stripe_chunk = chunk;
+        self
     }
 }
 
@@ -135,6 +171,13 @@ impl Config {
         self
     }
 
+    /// Add a fully spelled-out channel declaration (multirail channels,
+    /// custom stripe sizes).
+    pub fn with_channel_spec(mut self, spec: ChannelSpec) -> Self {
+        self.channels.push(spec);
+        self
+    }
+
     pub fn with_sci_dma(mut self, on: bool) -> Self {
         self.enable_sci_dma = on;
         self
@@ -173,6 +216,23 @@ mod tests {
         assert_eq!(c.channels[0].protocol, Protocol::Sisci);
         assert_eq!(c.channels[1].network, "myr0");
         assert!(!c.enable_sci_dma);
+    }
+
+    #[test]
+    fn rail_spec_defaults_and_builders() {
+        let spec = ChannelSpec::new("ch", "myr0", Protocol::Bip);
+        assert_eq!(spec.rails, 1);
+        assert_eq!(spec.stripe_threshold, DEFAULT_STRIPE_THRESHOLD);
+        assert_eq!(spec.stripe_chunk, DEFAULT_STRIPE_CHUNK);
+
+        let spec = spec.with_rails(3).with_striping(4096, 1024);
+        assert_eq!(spec.rails, 3);
+        assert_eq!(spec.stripe_threshold, 4096);
+        assert_eq!(spec.stripe_chunk, 1024);
+
+        let c = Config::default().with_channel_spec(spec);
+        assert_eq!(c.channels.len(), 1);
+        assert_eq!(c.channels[0].rails, 3);
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! The per-peer **connection** layer of the channel stack.
+//!
+//! Madeleine II guarantees in-order delivery *per connection* (paper §2.1),
+//! so the natural home of ordering state is a per-peer object, not the
+//! channel. Historically the channel kept two `Mutex<HashMap<NodeId, u32>>`
+//! maps for send/recv sequence numbers; every sender — even ones talking to
+//! *different* peers — serialized on those locks. [`Connection`] replaces
+//! them with plain atomics pinned in an immutable per-channel table
+//! ([`Connections`]), so two threads sending to distinct peers never touch
+//! the same cache line, and the lookup is a wait-free read of a frozen map.
+//!
+//! The connection also carries the multirail stripe-block counters: both
+//! endpoints count striped blocks per direction, which gives the stripe
+//! engine a wire-free agreement on a per-block ack tag (see
+//! [`crate::rail`]).
+
+use madsim_net::NodeId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Ordering state for one peer of a channel.
+pub struct Connection {
+    peer: NodeId,
+    /// Stable index of this connection in the channel's member list —
+    /// identical on every node (members are listed in world-declaration
+    /// order), so schedulers can derive the same home rail everywhere
+    /// without negotiating.
+    index: usize,
+    /// Next message sequence number toward the peer.
+    send_seq: AtomicU32,
+    /// Expected next sequence number from the peer.
+    recv_seq: AtomicU32,
+    /// Striped blocks sent toward the peer (multirail only).
+    tx_stripe_blocks: AtomicU64,
+    /// Striped blocks received from the peer (multirail only).
+    rx_stripe_blocks: AtomicU64,
+}
+
+impl Connection {
+    fn new(peer: NodeId, index: usize) -> Self {
+        Connection {
+            peer,
+            index,
+            send_seq: AtomicU32::new(0),
+            recv_seq: AtomicU32::new(0),
+            tx_stripe_blocks: AtomicU64::new(0),
+            rx_stripe_blocks: AtomicU64::new(0),
+        }
+    }
+
+    /// The peer this connection points at.
+    pub fn peer(&self) -> NodeId {
+        self.peer
+    }
+
+    /// Position of the peer in the channel's member list (same on every
+    /// node).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Claim the next outgoing message sequence number (wait-free).
+    pub fn next_send_seq(&self) -> u32 {
+        self.send_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Validate and consume an incoming sequence number: `true` iff `seq`
+    /// is exactly the expected next one. Callers are serialized by the
+    /// channel's single-open-incoming-message guard, so a load/store pair
+    /// suffices — no CAS loop on the hot path.
+    pub fn accept_recv_seq(&self, seq: u32) -> bool {
+        let expect = self.recv_seq.load(Ordering::Acquire);
+        if seq != expect {
+            return false;
+        }
+        self.recv_seq
+            .store(expect.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Claim the send-side id of the next striped block toward the peer.
+    pub(crate) fn next_tx_stripe_block(&self) -> u64 {
+        self.tx_stripe_blocks.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Claim the receive-side id of the next striped block from the peer.
+    pub(crate) fn next_rx_stripe_block(&self) -> u64 {
+        self.rx_stripe_blocks.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// The frozen connection table of one channel: one [`Connection`] per
+/// remote member, built once at channel construction. Lookups after that
+/// are read-only — no lock anywhere on the sequence-number path.
+pub struct Connections {
+    map: HashMap<NodeId, Connection>,
+}
+
+impl Connections {
+    /// Build the table for a channel whose member list is `peers` (in
+    /// world-declaration order, including `me`, which gets no entry).
+    pub fn new(me: NodeId, peers: &[NodeId]) -> Self {
+        let map = peers
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p != me)
+            .map(|(i, &p)| (p, Connection::new(p, i)))
+            .collect();
+        Connections { map }
+    }
+
+    /// The connection toward `peer`, if it is a member.
+    pub fn get(&self, peer: NodeId) -> Option<&Connection> {
+        self.map.get(&peer)
+    }
+
+    /// Number of remote members.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexes_follow_member_order_and_skip_self() {
+        let conns = Connections::new(2, &[0, 1, 2, 3]);
+        assert_eq!(conns.len(), 3);
+        assert!(conns.get(2).is_none());
+        assert_eq!(conns.get(0).unwrap().index(), 0);
+        assert_eq!(conns.get(1).unwrap().index(), 1);
+        assert_eq!(conns.get(3).unwrap().index(), 3);
+    }
+
+    #[test]
+    fn send_seq_increments_per_peer_independently() {
+        let conns = Connections::new(0, &[0, 1, 2]);
+        let a = conns.get(1).unwrap();
+        let b = conns.get(2).unwrap();
+        assert_eq!(a.next_send_seq(), 0);
+        assert_eq!(a.next_send_seq(), 1);
+        assert_eq!(b.next_send_seq(), 0);
+    }
+
+    #[test]
+    fn recv_seq_rejects_gaps_and_replays() {
+        let conns = Connections::new(0, &[0, 1]);
+        let c = conns.get(1).unwrap();
+        assert!(c.accept_recv_seq(0));
+        assert!(!c.accept_recv_seq(0), "replay must be rejected");
+        assert!(!c.accept_recv_seq(2), "gap must be rejected");
+        assert!(c.accept_recv_seq(1));
+    }
+
+    #[test]
+    fn stripe_block_counters_are_per_direction() {
+        let conns = Connections::new(0, &[0, 1]);
+        let c = conns.get(1).unwrap();
+        assert_eq!(c.next_tx_stripe_block(), 0);
+        assert_eq!(c.next_tx_stripe_block(), 1);
+        assert_eq!(c.next_rx_stripe_block(), 0);
+    }
+}

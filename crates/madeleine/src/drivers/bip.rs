@@ -182,13 +182,7 @@ impl BipShortTm {
     fn wait_expired(&self, peer: NodeId) -> MadError {
         self.stats.record_link_timeout();
         self.tracer.record(TraceEvent::CreditTimeout { peer });
-        let me = self.bip.node();
-        let unreachable = self
-            .bip
-            .adapter()
-            .faults()
-            .is_some_and(|f| !f.reachable(me, peer));
-        if unreachable {
+        if !self.bip.adapter().reachable_to(peer) {
             MadError::PeerUnreachable { peer }
         } else {
             MadError::ChannelDown

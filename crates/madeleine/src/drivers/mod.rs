@@ -79,11 +79,27 @@ pub fn build_pmm(
         }
         Protocol::Via => {
             assert_eq!(adapter.kind(), NetKind::ViaSan, "VIA needs a SAN");
-            via::build(adapter, channel_id, poll, cfg.timings.via, pool, stats, tracer)
+            via::build(
+                adapter,
+                channel_id,
+                poll,
+                cfg.timings.via,
+                pool,
+                stats,
+                tracer,
+            )
         }
         Protocol::Sbp => {
             assert_eq!(adapter.kind(), NetKind::Ethernet, "SBP needs Ethernet");
-            sbp::build(adapter, channel_id, poll, cfg.timings.sbp, pool, stats, tracer)
+            sbp::build(
+                adapter,
+                channel_id,
+                poll,
+                cfg.timings.sbp,
+                pool,
+                stats,
+                tracer,
+            )
         }
     }
 }

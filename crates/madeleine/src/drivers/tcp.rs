@@ -113,7 +113,8 @@ impl TcpTm {
     fn note_retransmits(&self, peer: NodeId, n: u64) {
         if n > 0 {
             self.stats.record_retransmits(n);
-            self.tracer.record(TraceEvent::Retransmit { peer, retries: n });
+            self.tracer
+                .record(TraceEvent::Retransmit { peer, retries: n });
         }
     }
 

@@ -73,7 +73,10 @@ mod tests {
 
     #[test]
     fn from_link_maps_both_variants() {
-        assert_eq!(MadError::from_link(LinkError::Timeout, 3), MadError::Timeout);
+        assert_eq!(
+            MadError::from_link(LinkError::Timeout, 3),
+            MadError::Timeout
+        );
         assert_eq!(
             MadError::from_link(LinkError::PeerDead, 3),
             MadError::PeerUnreachable { peer: 3 }

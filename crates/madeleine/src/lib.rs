@@ -45,8 +45,12 @@
 //!
 //! ## Architecture (paper §3, Fig. 2/3)
 //!
-//! * [`channel`] — channels, connections, the pack/unpack interface, and
-//!   the Switch Module with its commit/checkout ordering discipline;
+//! * [`channel`] — channels, the pack/unpack interface, and the Switch
+//!   Module with its commit/checkout ordering discipline;
+//! * [`connection`] — per-peer ordering state (lock-free sequence
+//!   numbers, stripe-block counters);
+//! * [`rail`] — one adapter's worth of channel machinery, the rail
+//!   scheduler, and the multirail stripe engine;
 //! * [`bmm`] — the generic Buffer Management Layer (eager, aggregating,
 //!   and static-copy policies);
 //! * [`tm`] — the Transmission Module interface (Table 2);
@@ -60,12 +64,14 @@
 pub mod bmm;
 pub mod channel;
 pub mod config;
+pub mod connection;
 pub mod drivers;
 pub mod error;
 pub mod flags;
 pub mod pmm;
 pub mod polling;
 pub mod pool;
+pub mod rail;
 pub mod session;
 pub mod stats;
 pub mod tm;
@@ -74,9 +80,11 @@ pub mod typed;
 
 pub use channel::{Channel, IncomingMessage, OutgoingMessage, HEADER_LEN};
 pub use config::{ChannelSpec, Config, HostModel, Protocol};
+pub use connection::{Connection, Connections};
 pub use error::{MadError, MadResult};
 pub use flags::{RecvMode, SendMode};
 pub use polling::PollPolicy;
 pub use pool::{BufPool, PooledBuf};
+pub use rail::Rail;
 pub use session::Madeleine;
 pub use stats::{Stats, StatsSnapshot};

@@ -4,11 +4,12 @@ use crate::channel::Channel;
 use crate::config::Config;
 use crate::drivers;
 use crate::pool::BufPool;
+use crate::rail::{Rail, RailScheduler};
 use crate::stats::Stats;
 use crate::trace::Tracer;
 use madsim_net::world::NodeEnv;
 use madsim_net::NodeId;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// A node's Madeleine II session: the set of configured channels.
@@ -31,48 +32,78 @@ impl Madeleine {
     /// name, or its protocol does not match the network's fabric.
     pub fn init(env: &NodeEnv, config: &Config) -> Self {
         let me = env.id();
-        let mut channels = HashMap::new();
-        for (idx, spec) in config.channels.iter().enumerate() {
+        // Validate the configuration before any membership filtering: a
+        // duplicate name is a config bug and must fail on *every* node,
+        // including nodes outside the offending channels' networks (the
+        // old in-loop check silently missed those).
+        let mut names = HashSet::new();
+        for spec in &config.channels {
             assert!(
-                !channels.contains_key(&spec.name),
+                names.insert(spec.name.as_str()),
                 "duplicate channel name {:?}",
                 spec.name
             );
-            let Some(adapter) = env.adapter_named(&spec.network) else {
+        }
+        let mut channels = HashMap::new();
+        for (idx, spec) in config.channels.iter().enumerate() {
+            let adapters = env.adapters_named(&spec.network);
+            if adapters.is_empty() {
                 // Not a member of this network: skip the channel. (If the
                 // network does not exist anywhere the user gets an empty
                 // session, which the channel() accessor reports clearly.)
                 continue;
-            };
+            }
+            assert!(
+                adapters.len() >= spec.rails,
+                "channel {:?} spans {} rails but node {me} owns only {} \
+                 adapter(s) on network {:?}",
+                spec.name,
+                spec.rails,
+                adapters.len(),
+                spec.network
+            );
             let stats = Stats::new();
-            // One pool per channel, shared between the generic layer
-            // (headers, SAFER captures) and the protocol driver (static
-            // buffers), so all of the channel's traffic recycles one set
-            // of warm slabs.
-            let pool = BufPool::new(Arc::clone(&stats));
-            // The tracer is shared between the channel and its driver so
+            // The tracer is shared between the channel and its drivers so
             // fault-recovery events (retransmissions, credit timeouts)
             // land in the same stream as the pack/unpack events.
             let tracer = Arc::new(Tracer::new());
-            let pmm = drivers::build_pmm(
-                spec.protocol,
-                adapter,
-                idx as u32,
-                config,
-                config.host.0,
-                Arc::clone(&stats),
-                pool.clone(),
-                Arc::clone(&tracer),
-            );
-            let channel = Channel::with_shared_pool(
+            // One driver stack per rail, each with its own buffer pool —
+            // shared between that rail's generic-layer traffic and its
+            // protocol driver (static buffers), so a rail's traffic
+            // recycles one set of warm slabs. Per-rail channel ids keep
+            // every rail's wire tags disjoint; rail 0's id equals the
+            // single-rail id, so classic channels are bit-identical.
+            let rails: Vec<Rail> = adapters[..spec.rails]
+                .iter()
+                .enumerate()
+                .map(|(r, adapter)| {
+                    let pool = BufPool::new(Arc::clone(&stats));
+                    let pmm = drivers::build_pmm(
+                        spec.protocol,
+                        adapter,
+                        (idx as u32) | ((r as u32) << 16),
+                        config,
+                        config.host.0,
+                        Arc::clone(&stats),
+                        pool.clone(),
+                        Arc::clone(&tracer),
+                    );
+                    Rail::new(r, pmm, pool, Some((*adapter).clone()))
+                })
+                .collect();
+            let peers = adapters[0].peers().to_vec();
+            let pool = rails[0].pool().clone();
+            let channel = Channel::multirail(
                 spec.name.clone(),
-                pmm,
+                rails,
+                RailScheduler::new(spec.stripe_threshold, spec.stripe_chunk),
                 me,
-                adapter.peers().to_vec(),
+                peers,
                 config.host.0,
                 stats,
                 pool,
                 tracer,
+                idx as u64,
             );
             channels.insert(spec.name.clone(), channel);
         }

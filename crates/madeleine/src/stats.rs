@@ -59,6 +59,12 @@ pub struct Stats {
     /// Per-TM traffic: (buffers, bytes) sent through each transmission
     /// module — the observable outcome of the Switch's selection.
     per_tm: Mutex<HashMap<TmId, (u64, u64)>>,
+    /// Large CHEAPER blocks striped across rails (multirail channels
+    /// only; exactly zero on single-rail channels).
+    stripes: AtomicU64,
+    /// Per-rail traffic: (chunks, bytes) carried by each rail of a
+    /// multirail channel — the observable outcome of the RailScheduler.
+    per_rail: Mutex<HashMap<usize, (u64, u64)>>,
 }
 
 impl Stats {
@@ -127,6 +133,58 @@ impl Stats {
             .collect();
         v.sort_unstable();
         v
+    }
+
+    /// Account one striped block (a large CHEAPER block split across
+    /// rails by the RailScheduler).
+    pub fn record_stripe(&self) {
+        self.stripes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Account `bytes` (headers + payload) carried by rail `rail`.
+    pub fn record_rail_traffic(&self, rail: usize, bytes: usize) {
+        let mut m = self.per_rail.lock();
+        let e = m.entry(rail).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += bytes as u64;
+    }
+
+    /// (chunks, bytes) carried by rail `rail` so far.
+    pub fn rail_traffic(&self, rail: usize) -> (u64, u64) {
+        self.per_rail.lock().get(&rail).copied().unwrap_or((0, 0))
+    }
+
+    /// Every rail with traffic, sorted by rail id.
+    pub fn rail_breakdown(&self) -> Vec<(usize, u64, u64)> {
+        let mut v: Vec<(usize, u64, u64)> = self
+            .per_rail
+            .lock()
+            .iter()
+            .map(|(&r, &(n, b))| (r, n, b))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Relative spread of per-rail byte counts: `(max − min) / max` over
+    /// the rails that carried traffic. 0.0 for a perfectly balanced
+    /// schedule — and when fewer than two rails carried anything.
+    pub fn rail_imbalance(&self) -> f64 {
+        let m = self.per_rail.lock();
+        if m.len() < 2 {
+            return 0.0;
+        }
+        let max = m.values().map(|&(_, b)| b).max().unwrap_or(0);
+        let min = m.values().map(|&(_, b)| b).min().unwrap_or(0);
+        if max == 0 {
+            0.0
+        } else {
+            (max - min) as f64 / max as f64
+        }
+    }
+
+    pub fn stripes(&self) -> u64 {
+        self.stripes.load(Ordering::Relaxed)
     }
 
     pub fn record_commit(&self) {
@@ -249,6 +307,7 @@ impl Stats {
             link_timeouts: self.link_timeouts(),
             failovers: self.failovers(),
             frags_discarded: self.frags_discarded(),
+            stripes: self.stripes(),
         }
     }
 }
@@ -271,6 +330,7 @@ pub struct StatsSnapshot {
     pub link_timeouts: u64,
     pub failovers: u64,
     pub frags_discarded: u64,
+    pub stripes: u64,
 }
 
 impl StatsSnapshot {
@@ -292,6 +352,7 @@ impl StatsSnapshot {
             link_timeouts: self.link_timeouts - earlier.link_timeouts,
             failovers: self.failovers - earlier.failovers,
             frags_discarded: self.frags_discarded - earlier.frags_discarded,
+            stripes: self.stripes - earlier.stripes,
         }
     }
 }
@@ -358,6 +419,25 @@ mod tests {
         assert_eq!(d.pool_hits, 3);
         assert_eq!(d.gathers, 1);
         assert_eq!(d.borrowed_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn rail_counters_and_imbalance() {
+        let s = Stats::new();
+        assert_eq!(s.rail_imbalance(), 0.0, "no rails yet");
+        s.record_rail_traffic(0, 1000);
+        assert_eq!(s.rail_imbalance(), 0.0, "one rail is never imbalanced");
+        s.record_rail_traffic(1, 500);
+        s.record_rail_traffic(0, 1000);
+        s.record_stripe();
+        assert_eq!(s.stripes(), 1);
+        assert_eq!(s.rail_traffic(0), (2, 2000));
+        assert_eq!(s.rail_traffic(1), (1, 500));
+        assert_eq!(s.rail_traffic(7), (0, 0));
+        assert_eq!(s.rail_breakdown(), vec![(0, 2, 2000), (1, 1, 500)]);
+        assert!((s.rail_imbalance() - 0.75).abs() < 1e-9);
+        let d = s.snapshot().since(&StatsSnapshot::default());
+        assert_eq!(d.stripes, 1);
     }
 
     #[test]

@@ -72,6 +72,20 @@ pub enum TraceEvent {
     /// A partially reassembled fragment from `src` was discarded during
     /// recovery (the retransmitted message restarts from offset 0).
     FragmentDiscarded { src: NodeId },
+    /// The RailScheduler chose `rail` as the home rail for a message to
+    /// `dst` (recorded on multirail channels only, so single-rail trace
+    /// streams are byte-identical to the pre-multirail library).
+    RailSelect { dst: NodeId, rail: usize },
+    /// A large CHEAPER block of `len` bytes was striped into `chunks`
+    /// chunks over `rails` alive rails.
+    Stripe {
+        len: usize,
+        chunks: usize,
+        rails: usize,
+    },
+    /// A rail was quarantined after a link failure; its traffic fails
+    /// over to the surviving rails.
+    RailDown { rail: usize },
 }
 
 /// A timestamped event.

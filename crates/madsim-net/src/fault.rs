@@ -22,6 +22,15 @@
 //! order, [`NetworkId`](crate::world::NetworkId)) is used rather than the
 //! process-unique network uid precisely so two identically-built worlds in
 //! one process draw identical fault schedules.
+//!
+//! Multirail networks (several adapters per node on one network, see
+//! [`WorldBuilder::network_with_rails`](crate::world::WorldBuilder::network_with_rails))
+//! fold the rail index into the network key: rail `r` of network `n` is
+//! keyed as `n | r << 16` ([`rail_key`]), so rail 0 of a single-rail
+//! network draws exactly the schedule it always did, and each extra rail
+//! is an independent fault domain — a partition can sever *one* rail of a
+//! pair while the others keep carrying traffic
+//! ([`FaultPlan::partition_rail_after`]).
 
 use crate::frame::NodeId;
 use parking_lot::Mutex;
@@ -66,6 +75,26 @@ pub const ARQ_RTO_VIRT_MAX_US: f64 = 8_000.0;
 /// Real-time bound on a reliable receive (covers a peer's full retry
 /// schedule with margin).
 pub const ARQ_RECV_TIMEOUT_MS: u64 = 20_000;
+
+/// Fault-domain key of rail `rail` on network `net` (declaration index).
+/// Rail 0 keys to the bare network index, so single-rail worlds draw
+/// byte-identical fault schedules with or without this encoding.
+pub fn rail_key(net: usize, rail: usize) -> usize {
+    net | (rail << 16)
+}
+
+/// A partition of one rail of one (src, dst) pair, armed after a frame
+/// count: the deterministic way to kill a rail *mid-message*.
+#[derive(Clone, Copy, Debug)]
+struct RailPartition {
+    net: usize,
+    rail: usize,
+    a: NodeId,
+    b: NodeId,
+    /// The cut activates per direction once that direction has carried
+    /// this many frames on the rail (0 = severed from the start).
+    after: u64,
+}
 
 /// What the fault layer did to one frame.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -114,6 +143,8 @@ pub struct FaultPlan {
     stalls: Vec<(NodeId, f64)>,
     /// Unordered pairs that cannot exchange frames.
     partitions: Vec<(NodeId, NodeId)>,
+    /// Per-rail, counter-armed partitions (multirail failover testing).
+    rail_partitions: Vec<RailPartition>,
     /// Nodes dead from the start.
     crashed: Vec<NodeId>,
 }
@@ -160,6 +191,31 @@ impl FaultPlan {
     /// Sever the (bidirectional) link between `a` and `b` on every network.
     pub fn partition(mut self, a: NodeId, b: NodeId) -> Self {
         self.partitions.push((a, b));
+        self
+    }
+
+    /// Sever rail `rail` of network `net` (declaration index) between `a`
+    /// and `b` once either direction has carried `after` frames on that
+    /// rail: the `after`-th frame (0-based) and all later ones are
+    /// discarded, per direction against that direction's own deterministic
+    /// frame counter. `after = 0` severs the rail from the start. Other
+    /// rails of the same network are untouched, which is what the
+    /// multirail failover tests use to kill one rail mid-message.
+    pub fn partition_rail_after(
+        mut self,
+        net: usize,
+        rail: usize,
+        a: NodeId,
+        b: NodeId,
+        after: u64,
+    ) -> Self {
+        self.rail_partitions.push(RailPartition {
+            net,
+            rail,
+            a,
+            b,
+            after,
+        });
         self
     }
 
@@ -233,6 +289,28 @@ impl FaultState {
     /// `src`) is crashed or the pair is partitioned.
     pub fn reachable(&self, src: NodeId, dst: NodeId) -> bool {
         !self.is_crashed(src) && !self.is_crashed(dst) && !self.is_partitioned(src, dst)
+    }
+
+    /// [`reachable`](Self::reachable) refined to one rail of one network:
+    /// additionally `false` once a [`partition_rail_after`]
+    /// (FaultPlan::partition_rail_after) cut on that rail has activated in
+    /// the `src → dst` direction (its frame counter reached the threshold).
+    pub fn reachable_on(&self, net: usize, rail: usize, src: NodeId, dst: NodeId) -> bool {
+        if !self.reachable(src, dst) {
+            return false;
+        }
+        let key = rail_key(net, rail);
+        let sent = self
+            .counters
+            .lock()
+            .get(&(key, src, dst))
+            .copied()
+            .unwrap_or(0);
+        !self.plan.rail_partitions.iter().any(|p| {
+            rail_key(p.net, p.rail) == key
+                && ((p.a == src && p.b == dst) || (p.a == dst && p.b == src))
+                && sent >= p.after
+        })
     }
 
     /// Total frames dropped (loss + partition + crash).
@@ -309,6 +387,19 @@ impl FaultState {
             return v;
         }
         if self.is_partitioned(src, dst) {
+            self.drops.fetch_add(1, Ordering::Relaxed);
+            self.record(net, src, dst, index, FaultEvent::Partitioned);
+            v.deliver = false;
+            return v;
+        }
+        // Rail-scoped cuts: `net` is the rail-extended key here, and the
+        // comparison against this direction's own frame index keeps the
+        // activation point deterministic under any thread interleaving.
+        if self.plan.rail_partitions.iter().any(|p| {
+            rail_key(p.net, p.rail) == net
+                && ((p.a == src && p.b == dst) || (p.a == dst && p.b == src))
+                && index >= p.after
+        }) {
             self.drops.fetch_add(1, Ordering::Relaxed);
             self.record(net, src, dst, index, FaultEvent::Partitioned);
             v.deliver = false;
@@ -417,6 +508,45 @@ mod tests {
         assert!(!st.judge(0, 0, 1).deliver, "data frames still roll");
         st.crash(1);
         assert!(!st.judge_control(0, 0, 1).deliver, "crash still discards");
+    }
+
+    #[test]
+    fn rail_partition_cuts_one_rail_after_threshold() {
+        let st = FaultPlan::new(0)
+            .partition_rail_after(0, 1, 0, 1, 2)
+            .build();
+        let k1 = rail_key(0, 1);
+        // Rail 0 (bare net key) is untouched.
+        for _ in 0..8 {
+            assert!(st.judge(0, 0, 1).deliver);
+        }
+        // Rail 1 carries its first two frames, then the cut activates.
+        assert!(st.reachable_on(0, 1, 0, 1), "cut not active before frames");
+        assert!(st.judge(k1, 0, 1).deliver);
+        assert!(st.judge(k1, 0, 1).deliver);
+        assert!(!st.judge(k1, 0, 1).deliver, "frame index 2 is cut");
+        assert!(!st.reachable_on(0, 1, 0, 1));
+        assert!(st.reachable_on(0, 0, 0, 1), "rail 0 still reachable");
+        // The reverse direction cuts against its own counter.
+        assert!(st.judge(k1, 1, 0).deliver);
+        assert!(st.judge(k1, 1, 0).deliver);
+        assert!(!st.judge(k1, 1, 0).deliver);
+        // Other pairs on the same rail are untouched.
+        assert!(st.judge(k1, 0, 2).deliver);
+        // Control frames obey the cut too (it is a partition, not loss).
+        assert!(!st.judge_control(k1, 0, 1).deliver);
+    }
+
+    #[test]
+    fn rail_partition_after_zero_severs_from_start() {
+        let st = FaultPlan::new(0)
+            .partition_rail_after(2, 3, 4, 5, 0)
+            .build();
+        let k = rail_key(2, 3);
+        assert!(!st.reachable_on(2, 3, 4, 5));
+        assert!(!st.judge(k, 4, 5).deliver);
+        assert!(!st.judge(k, 5, 4).deliver);
+        assert!(st.reachable_on(2, 0, 4, 5));
     }
 
     #[test]

@@ -262,23 +262,20 @@ impl Bip {
         data: Bytes,
         timeout: Duration,
     ) -> Result<(), LinkError> {
-        let me = self.node();
-        if let Some(faults) = self.adapter.faults() {
-            if !faults.reachable(me, dst) {
-                return Err(LinkError::PeerDead);
-            }
+        if !self.adapter.reachable_to(dst) {
+            return Err(LinkError::PeerDead);
         }
-        let cts = self
-            .adapter
-            .inbox()
-            .recv_match_timeout(|f| f.kind == KIND_CTS && f.tag == tag && f.src == dst, timeout);
+        let cts = self.adapter.inbox().recv_match_timeout(
+            |f| f.kind == KIND_CTS && f.tag == tag && f.src == dst,
+            timeout,
+        );
         match cts {
             Some(cts) => {
                 self.send_long_after_cts(dst, tag, data, cts.arrival);
                 Ok(())
             }
             None => {
-                if self.adapter.faults().is_some_and(|f| !f.reachable(me, dst)) {
+                if !self.adapter.reachable_to(dst) {
                     Err(LinkError::PeerDead)
                 } else {
                     Err(LinkError::Timeout)
@@ -367,13 +364,12 @@ impl Bip {
         buf: &mut [u8],
         timeout: Duration,
     ) -> Result<usize, LinkError> {
-        let f = self
-            .adapter
-            .inbox()
-            .recv_match_timeout(|f| f.kind == KIND_LONG && f.tag == tag && f.src == src, timeout);
+        let f = self.adapter.inbox().recv_match_timeout(
+            |f| f.kind == KIND_LONG && f.tag == tag && f.src == src,
+            timeout,
+        );
         let Some(f) = f else {
-            let me = self.node();
-            if self.adapter.faults().is_some_and(|fa| !fa.reachable(me, src)) {
+            if !self.adapter.reachable_to(src) {
                 return Err(LinkError::PeerDead);
             }
             return Err(LinkError::Timeout);

@@ -41,7 +41,13 @@ struct NetworkSpec {
     name: Arc<str>,
     kind: NetKind,
     members: Vec<NodeId>,
+    /// Adapters per member node (multirail). 1 for ordinary networks.
+    rails: usize,
 }
+
+/// Upper bound on rails per network: the fault layer folds the rail index
+/// into the upper bits of its network key (see [`crate::fault::rail_key`]).
+pub const MAX_RAILS: usize = 16;
 
 /// Builder for a [`World`].
 pub struct WorldBuilder {
@@ -83,6 +89,28 @@ impl WorldBuilder {
     /// Panics on out-of-range members, duplicate members, fewer than two
     /// members, or a duplicate network name.
     pub fn network(&mut self, name: &str, kind: NetKind, members: &[NodeId]) -> NetworkId {
+        self.network_with_rails(name, kind, members, 1)
+    }
+
+    /// [`network`](Self::network) with `rails` adapters per member node —
+    /// a node with several NICs on the same fabric. All rails share the
+    /// network's wire (one mailbox per member) and the owning node's PCI
+    /// bus; each rail is an independent fault domain (see
+    /// [`crate::fault::rail_key`]).
+    ///
+    /// # Panics
+    /// Additionally panics when `rails` is 0 or exceeds [`MAX_RAILS`].
+    pub fn network_with_rails(
+        &mut self,
+        name: &str,
+        kind: NetKind,
+        members: &[NodeId],
+        rails: usize,
+    ) -> NetworkId {
+        assert!(
+            (1..=MAX_RAILS).contains(&rails),
+            "network {name:?}: rails must be in 1..={MAX_RAILS}, got {rails}"
+        );
         assert!(
             members.len() >= 2,
             "network {name:?} needs at least two members"
@@ -103,6 +131,7 @@ impl WorldBuilder {
             name: Arc::from(name),
             kind,
             members: members.to_vec(),
+            rails,
         });
         id
     }
@@ -118,6 +147,7 @@ impl WorldBuilder {
                 name: Arc::clone(&spec.name),
                 kind: spec.kind,
                 members: Arc::from(spec.members.as_slice()),
+                rails: spec.rails,
                 mailboxes,
             });
         }
@@ -144,6 +174,7 @@ struct BuiltNetwork {
     name: Arc<str>,
     kind: NetKind,
     members: Arc<[NodeId]>,
+    rails: usize,
     mailboxes: Arc<HashMap<NodeId, Mailbox<Frame>>>,
 }
 
@@ -172,17 +203,20 @@ impl World {
             .iter()
             .enumerate()
             .filter(|(_, net)| net.members.contains(&node))
-            .map(|(i, net)| Adapter {
-                uid: net.uid,
-                net: NetworkId(i),
-                kind: net.kind,
-                name: Arc::clone(&net.name),
-                node,
-                peers: Arc::clone(&net.members),
-                mailboxes: Arc::clone(&net.mailboxes),
-                pci: self.buses[node].clone(),
-                all_buses: Arc::clone(&self.buses),
-                faults: self.faults.clone(),
+            .flat_map(|(i, net)| {
+                (0..net.rails).map(move |rail| Adapter {
+                    uid: net.uid,
+                    net: NetworkId(i),
+                    rail,
+                    kind: net.kind,
+                    name: Arc::clone(&net.name),
+                    node,
+                    peers: Arc::clone(&net.members),
+                    mailboxes: Arc::clone(&net.mailboxes),
+                    pci: self.buses[node].clone(),
+                    all_buses: Arc::clone(&self.buses),
+                    faults: self.faults.clone(),
+                })
             })
             .collect();
         let topology = Arc::new(
@@ -274,13 +308,52 @@ impl NodeEnv {
     }
 
     /// The adapter on network `net`, if this node is a member.
+    ///
+    /// # Panics
+    /// In debug builds, panics when this node owns several adapters
+    /// (rails) on `net` — the singular lookup is ambiguous there; use
+    /// [`adapters_on`](Self::adapters_on). Release builds return rail 0.
     pub fn adapter_on(&self, net: NetworkId) -> Option<&Adapter> {
-        self.adapters.iter().find(|a| a.net == net)
+        let mut it = self.adapters.iter().filter(|a| a.net == net);
+        let first = it.next();
+        debug_assert!(
+            it.next().is_none(),
+            "node {} owns several adapters (rails) on network {net:?}; \
+             use adapters_on to get all of them",
+            self.node
+        );
+        first
     }
 
     /// The adapter on the network named `name`, if this node is a member.
+    ///
+    /// # Panics
+    /// In debug builds, panics when this node owns several adapters
+    /// (rails) on that network — the singular lookup is ambiguous there;
+    /// use [`adapters_named`](Self::adapters_named). Release builds return
+    /// rail 0.
     pub fn adapter_named(&self, name: &str) -> Option<&Adapter> {
-        self.adapters.iter().find(|a| &*a.name == name)
+        let mut it = self.adapters.iter().filter(|a| &*a.name == name);
+        let first = it.next();
+        debug_assert!(
+            it.next().is_none(),
+            "node {} owns several adapters (rails) on network {name:?}; \
+             use adapters_named to get all of them",
+            self.node
+        );
+        first
+    }
+
+    /// Every adapter this node owns on network `net`, in rail order.
+    /// Empty when the node is not a member.
+    pub fn adapters_on(&self, net: NetworkId) -> Vec<&Adapter> {
+        self.adapters.iter().filter(|a| a.net == net).collect()
+    }
+
+    /// Every adapter this node owns on the network named `name`, in rail
+    /// order. Empty when the node is not a member.
+    pub fn adapters_named(&self, name: &str) -> Vec<&Adapter> {
+        self.adapters.iter().filter(|a| &*a.name == name).collect()
     }
 
     /// This node's host I/O bus.
@@ -339,6 +412,8 @@ impl NodeEnv {
 pub struct Adapter {
     uid: u64,
     net: NetworkId,
+    /// Which of the owning node's NICs on this network this is (0-based).
+    rail: usize,
     kind: NetKind,
     name: Arc<str>,
     node: NodeId,
@@ -357,6 +432,29 @@ impl Adapter {
 
     pub fn network(&self) -> NetworkId {
         self.net
+    }
+
+    /// Rail index of this adapter on its network (0 for single-rail
+    /// networks).
+    pub fn rail(&self) -> usize {
+        self.rail
+    }
+
+    /// Is `dst` reachable over *this rail*? `true` on a fault-free world;
+    /// otherwise false when `dst` is crashed, globally partitioned from
+    /// us, or this rail's link to it has been cut
+    /// ([`FaultPlan::partition_rail_after`]). Fail-fast checks in the
+    /// stacks use this so one dead rail does not condemn its siblings.
+    pub fn reachable_to(&self, dst: NodeId) -> bool {
+        self.faults
+            .as_ref()
+            .is_none_or(|f| f.reachable_on(self.net.0, self.rail, self.node, dst))
+    }
+
+    /// The fault-domain key of this adapter: its network index with the
+    /// rail folded into the upper bits (see [`crate::fault::rail_key`]).
+    fn fault_key(&self) -> usize {
+        crate::fault::rail_key(self.net.0, self.rail)
     }
 
     pub fn kind(&self) -> NetKind {
@@ -439,9 +537,9 @@ impl Adapter {
             .unwrap_or_else(|| panic!("node {dst} is not on network {:?}", self.name));
         if let Some(faults) = &self.faults {
             let v = if control {
-                faults.judge_control(self.net.0, self.node, dst)
+                faults.judge_control(self.fault_key(), self.node, dst)
             } else {
-                faults.judge(self.net.0, self.node, dst)
+                faults.judge(self.fault_key(), self.node, dst)
             };
             if v.stall_ns > 0 {
                 time::advance(VDuration::from_micros_f64(v.stall_ns as f64 / 1_000.0));
@@ -532,6 +630,46 @@ mod tests {
         assert_eq!(counts[1], (2, true, true)); // the gateway
         assert_eq!(counts[2], (1, false, true));
         assert_eq!(counts[3], (1, false, true));
+    }
+
+    #[test]
+    fn multirail_network_yields_one_adapter_per_rail() {
+        let mut b = WorldBuilder::new(2);
+        let net = b.network_with_rails("myr0", NetKind::Myrinet, &[0, 1], 3);
+        let w = b.build();
+        w.run(|env| {
+            let rails = env.adapters_on(net);
+            assert_eq!(rails.len(), 3);
+            for (i, a) in rails.iter().enumerate() {
+                assert_eq!(a.rail(), i);
+                assert_eq!(a.network(), net);
+            }
+            assert_eq!(env.adapters_named("myr0").len(), 3);
+            // All rails share the network's wire: one mailbox per node.
+            let f = Frame::control(env.id(), 9, 9, VTime::ZERO);
+            rails[2].send_raw(1 - env.id(), f);
+            let got = rails[0].inbox().recv_match(|f| f.kind == 9);
+            assert_eq!(got.src, 1 - env.id());
+        });
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "use adapters_named")]
+    fn singular_lookup_panics_on_multirail() {
+        let mut b = WorldBuilder::new(2);
+        b.network_with_rails("myr0", NetKind::Myrinet, &[0, 1], 2);
+        let w = b.build();
+        w.run(|env| {
+            let _ = env.adapter_named("myr0");
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rails must be in")]
+    fn zero_rails_rejected() {
+        let mut b = WorldBuilder::new(2);
+        b.network_with_rails("x", NetKind::Ethernet, &[0, 1], 0);
     }
 
     #[test]

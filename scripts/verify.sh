@@ -17,4 +17,10 @@ cargo test -q -p mad-integration --test chaos
 # must stay entirely out of the fast path — every fault counter reads zero.
 cargo test -q -p mad-integration --test chaos -- --exact zero_fault_runs_count_nothing
 
+# Multirail stage: sweep 1->4 rails; the binary itself asserts that
+# single-rail channels never stripe and that two rails on the retimed bus
+# reach >= 1.7x the single-rail 1 MB bandwidth.
+cargo run --release -p bench --bin rails -- --out BENCH_rails.json
+test -s BENCH_rails.json
+
 echo "verify: all checks passed"

@@ -76,7 +76,10 @@ fn tcp_ping_pong_survives_loss() {
     let (world, config) = eth_pair(Some(FaultPlan::new(7).drop_rate(0.01)));
     let retransmits = ping_pong(&world, config, 400, 256);
     let faults = world.faults().expect("plan installed");
-    assert!(faults.drops() > 0, "1% loss over 400 rounds dropped nothing");
+    assert!(
+        faults.drops() > 0,
+        "1% loss over 400 rounds dropped nothing"
+    );
     assert!(
         retransmits >= faults.drops(),
         "{} drops but only {retransmits} retransmissions recorded",
@@ -109,7 +112,10 @@ fn bulk_transfer_survives_loss() {
                 msg.unpack(&mut got, SendMode::Cheaper, RecvMode::Cheaper);
                 msg.end_unpacking();
                 let bad = got.iter().enumerate().find(|&(i, &b)| b != fill(i));
-                assert_eq!(bad, None, "corruption after loss recovery, attempt {attempt}");
+                assert_eq!(
+                    bad, None,
+                    "corruption after loss recovery, attempt {attempt}"
+                );
             }
             // The transfer is fully acknowledged before either side gets
             // here, so the drop total is stable across the barrier and
@@ -148,8 +154,8 @@ fn virtual_channel_fails_over_after_gateway_crash() {
     const LEN: usize = 20_000;
     world.run(move |env| {
         let mad = Madeleine::init(&env, &config);
-        let spec = VirtualChannelSpec::new("vc", &["chA", "chB"], 4096)
-            .with_alternate(&["chC", "chD"]);
+        let spec =
+            VirtualChannelSpec::new("vc", &["chA", "chB"], 4096).with_alternate(&["chC", "chD"]);
         let gw = Gateway::spawn(&env, &mad, &config, &spec);
         let vc = VirtualChannel::open(&env, &mad, &config, &spec);
         let payload: Vec<u8> = (0..LEN).map(|i| (i % 247) as u8).collect();
@@ -209,6 +215,72 @@ fn virtual_channel_fails_over_after_gateway_crash() {
             gw.stop();
         }
     });
+}
+
+/// A striped transfer over a 2-rail channel survives one rail partitioning
+/// mid-message: the sender quarantines the dead rail, re-stripes the lost
+/// chunks over the survivor, and the block arrives byte-exact. The cut is
+/// counter-armed on rail 1 only, so the failure lands *inside* the striped
+/// block deterministically.
+#[test]
+fn striped_transfer_survives_rail_partition() {
+    use madeleine::ChannelSpec;
+
+    const LEN: usize = 192 * 1024;
+    let mut b = WorldBuilder::new(2);
+    let myr = b.network_with_rails("myr0", NetKind::Myrinet, &[0, 1], 2);
+    let world = b
+        .fault_plan(FaultPlan::new(3).partition_rail_after(myr.0, 1, 0, 1, 5))
+        .build();
+    let config = Config::default().with_channel_spec(
+        ChannelSpec::new("ch", "myr0", Protocol::Bip)
+            .with_rails(2)
+            .with_striping(64 * 1024, 32 * 1024),
+    );
+    world.run(move |env| {
+        let mad = Madeleine::init(&env, &config);
+        let chan = mad.channel("ch");
+        chan.enable_trace();
+        let fill = |i: usize| (i % 249) as u8;
+        if env.id() == 0 {
+            let data: Vec<u8> = (0..LEN).map(fill).collect();
+            let mut msg = chan.begin_packing(1);
+            msg.pack(&data, SendMode::Cheaper, RecvMode::Cheaper);
+            msg.end_packing();
+            assert!(
+                chan.stats().failovers() >= 1,
+                "rail 1 was cut but never quarantined"
+            );
+            let events: Vec<TraceEvent> = chan
+                .tracer()
+                .events()
+                .into_iter()
+                .map(|t| t.event)
+                .collect();
+            assert!(
+                events.contains(&TraceEvent::RailDown { rail: 1 }),
+                "rail quarantine was not traced: {events:?}"
+            );
+            assert!(
+                events
+                    .iter()
+                    .any(|e| matches!(e, TraceEvent::Stripe { .. })),
+                "transfer never striped: {events:?}"
+            );
+        } else {
+            let mut got = vec![0u8; LEN];
+            let mut msg = chan.begin_unpacking();
+            msg.unpack(&mut got, SendMode::Cheaper, RecvMode::Cheaper);
+            msg.end_unpacking();
+            let bad = got.iter().enumerate().find(|&(i, &b)| b != fill(i));
+            assert_eq!(bad, None, "corruption after rail failover");
+        }
+        env.barrier();
+    });
+    assert!(
+        world.faults().expect("plan installed").drops() > 0,
+        "the rail cut never dropped a frame"
+    );
 }
 
 /// With no fault plan installed nothing is armed: the recovery machinery
