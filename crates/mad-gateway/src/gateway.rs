@@ -30,7 +30,7 @@ use madeleine::pmm::Pmm;
 use madeleine::pool::{BufPool, PooledBuf};
 use madeleine::stats::Stats;
 use madeleine::tm::StaticBuf;
-use madeleine::Madeleine;
+use madeleine::{CompletionQueue, Madeleine};
 use madsim_net::time::{self, VDuration, VTime};
 use madsim_net::world::NodeEnv;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -208,7 +208,11 @@ fn spawn_direction(
 ) -> Vec<JoinHandle<()>> {
     let host = config.host.0;
     let depth = gwcfg.depth.max(1);
-    let (filled_tx, filled_rx) = crossbeam::channel::bounded::<Filled>(depth);
+    // Finished fragments flow to the sending half through a completion
+    // queue (the progress engine's terminal primitive); the dual-buffering
+    // backpressure stays on the bounded `free` slot channel, so at most
+    // `depth` fragments are ever in flight per direction.
+    let filled = Arc::new(CompletionQueue::<Filled>::new());
     let (free_tx, free_rx) = crossbeam::channel::bounded::<VTime>(depth);
     for _ in 0..depth {
         free_tx.send(VTime::ZERO).expect("fresh channel");
@@ -221,12 +225,17 @@ fn spawn_direction(
         let out_pmm = Arc::clone(&out_pmm);
         let stats = Arc::clone(&stats);
         let stop = Arc::clone(&stop);
+        let filled = Arc::clone(&filled);
+        let free_tx = free_tx.clone();
         let mut limiter = gwcfg.inbound_limit_mibps.map(RateLimiter::new);
         let pool = BufPool::new(Arc::clone(&stats));
         env.spawn_thread(move || {
             loop {
                 let Some(neighbor) = in_pmm.poll_incoming() else {
                     if stop.load(Ordering::Acquire) {
+                        // Closing the queue drains the sending half: it
+                        // forwards what is already filled, then exits.
+                        filled.close();
                         return;
                     }
                     std::thread::sleep(Duration::from_micros(20));
@@ -234,6 +243,7 @@ fn spawn_direction(
                 };
                 // Dual buffering: wait (in virtual time too) for a free slot.
                 let Ok(slot_free_at) = free_rx.recv() else {
+                    filled.close();
                     return;
                 };
                 time::advance_to(slot_free_at);
@@ -268,14 +278,11 @@ fn spawn_direction(
                 if std::env::var("GW_DEBUG").is_ok() {
                     eprintln!("gw-recv frag len {} done at {:?}", hdr.len, time::now());
                 }
-                if filled_tx
-                    .send(Filled {
-                        hdr,
-                        payload,
-                        ready: time::now(),
-                    })
-                    .is_err()
-                {
+                if !filled.push(Filled {
+                    hdr,
+                    payload,
+                    ready: time::now(),
+                }) {
                     return;
                 }
                 let _ = route; // route is used by the sending half only
@@ -287,11 +294,11 @@ fn spawn_direction(
     let send_handle = {
         let stats = Arc::clone(&stats);
         env.spawn_thread(move || {
-            while let Ok(Filled {
+            while let Some(Filled {
                 hdr,
                 payload,
                 ready,
-            }) = filled_rx.recv()
+            }) = filled.pop_wait()
             {
                 time::advance_to(ready);
                 let (_hop, next) = route.next_leg(me, hdr.dst);

@@ -155,11 +155,14 @@ impl Mpi {
         Request::recv(src, tag, buf)
     }
 
-    /// Nonblocking send. Completes locally on all protocols except BIP's
-    /// rendezvous path (see [`request`] module docs).
-    pub fn isend<'a>(&self, dst_rank: usize, tag: i32, data: &'a [u8]) -> Request<'a> {
-        self.p2p.send(&self.comm, dst_rank, tag, data);
-        Request::send_done(dst_rank, tag, data.len())
+    /// Nonblocking send: posts the message to the channel's progress
+    /// engine and returns immediately, whatever the size or protocol —
+    /// including BIP's long-message rendezvous, which completes inside a
+    /// later [`test`](Self::test)/[`wait`](Self::wait) tick while the
+    /// transfer overlaps local compute (see [`request`] module docs).
+    pub fn isend(&self, dst_rank: usize, tag: i32, data: &[u8]) -> Request<'static> {
+        let op = self.p2p.post_send(&self.comm, dst_rank, tag, data);
+        Request::send_op(op, dst_rank, tag, data.len())
     }
 
     /// Nonblocking progress on a request.

@@ -12,7 +12,8 @@
 //! as in real MPICH) and matched later.
 
 use crate::comm::Comm;
-use madeleine::{RecvMode, SendMode};
+use bytes::Bytes;
+use madeleine::{OpId, RecvMode, SendMode};
 use madsim_net::time::{self, VDuration};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -67,6 +68,33 @@ impl P2p {
             msg.pack(data, SendMode::Cheaper, RecvMode::Cheaper);
         }
         msg.end_packing();
+    }
+
+    /// Post a standard-mode send as a **nonblocking op**: returns an op
+    /// handle immediately, whatever the message size — the transfer
+    /// (including BIP's long-message rendezvous) is driven by the
+    /// channel's progress engine inside `test`/`wait`. The wire bytes are
+    /// the same envelope + payload a blocking [`send`](Self::send) emits.
+    pub(crate) fn post_send(&self, comm: &Comm, dst_rank: usize, tag: i32, data: &[u8]) -> OpId {
+        time::advance(VDuration::from_micros_f64(MPI_OVERHEAD_US));
+        let ch = comm.channel();
+        let mut env = [0u8; 12];
+        env[0..2].copy_from_slice(&comm.ctx().to_le_bytes());
+        env[4..8].copy_from_slice(&tag.to_le_bytes());
+        env[8..12].copy_from_slice(&(data.len() as u32).to_le_bytes());
+        let mut blocks = vec![(
+            Bytes::copy_from_slice(&env),
+            SendMode::Cheaper,
+            RecvMode::Express,
+        )];
+        if !data.is_empty() {
+            blocks.push((
+                Bytes::copy_from_slice(data),
+                SendMode::Cheaper,
+                RecvMode::Cheaper,
+            ));
+        }
+        ch.post_message(comm.node_of(dst_rank), blocks)
     }
 
     /// Blocking receive with optional source/tag wildcards. Returns the

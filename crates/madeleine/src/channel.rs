@@ -49,14 +49,19 @@ use crate::connection::Connections;
 use crate::error::{MadError, MadResult};
 use crate::flags::{RecvMode, SendMode};
 use crate::pmm::Pmm;
+use crate::polling::PollPolicy;
 use crate::pool::{BufPool, PooledBuf};
+use crate::progress::{Completion, CompletionQueue, OpId, OpState, OpStep, ProgressEngine,
+    StepOutcome};
 use crate::rail::{self, Rail, RailScheduler, StripeCtx};
 use crate::stats::{Stats, StatsSnapshot};
-use crate::tm::TmId;
+use crate::tm::{PendingKind, TmId, TmPending, TmSend, TmStep};
 use crate::trace::{TraceEvent, Tracer};
-use madsim_net::time::{self, VDuration};
+use bytes::Bytes;
+use madsim_net::time::{self, VDuration, VTime};
 use madsim_net::NodeId;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 const HEADER_MAGIC: u32 = 0x4D41_4432; // "MAD2"
@@ -69,11 +74,12 @@ pub const HEADER_LEN: usize = 16;
 pub struct Channel {
     name: String,
     /// The rails, indexed by rail id. Single-rail channels behave exactly
-    /// like the pre-multirail library.
-    rails: Vec<Rail>,
-    sched: RailScheduler,
+    /// like the pre-multirail library. Shared (`Arc`) with in-flight
+    /// nonblocking ops, which outlive any one call frame.
+    rails: Arc<Vec<Rail>>,
+    sched: Arc<RailScheduler>,
     /// Per-peer ordering state (frozen table, atomics inside).
-    conns: Connections,
+    conns: Arc<Connections>,
     me: NodeId,
     peers: Vec<NodeId>,
     stats: Arc<Stats>,
@@ -96,6 +102,23 @@ pub struct Channel {
     /// Base of this channel's stripe-ack demultiplexing tags (the channel
     /// index within the session config; see [`crate::rail`]).
     ack_base: u64,
+    /// Cached liveness of the rails, bit `i` set while rail `i` is in
+    /// service. Maintained by [`Rail::quarantine`]; the hot wait paths
+    /// test one word per scan instead of re-walking every rail's flag.
+    live_mask: Arc<AtomicU64>,
+    /// How engine-driving waits behave when no op can move (see
+    /// [`crate::polling`]).
+    poll: PollPolicy,
+    /// The nonblocking-op state machines of this channel (see
+    /// [`crate::progress`]).
+    engine: ProgressEngine,
+}
+
+/// Ack-demultiplexing tag of one striped block: unique per (channel,
+/// connection direction, block); both endpoints derive it from their
+/// per-connection stripe-block counters (see [`crate::rail`]).
+fn stripe_ack_tag(ack_base: u64, sender: NodeId, block: u64) -> u64 {
+    (ack_base << 40) | ((sender as u64 & 0xFFF) << 28) | (block & 0x0FFF_FFFF)
 }
 
 impl Channel {
@@ -130,7 +153,19 @@ impl Channel {
             crate::config::DEFAULT_STRIPE_THRESHOLD,
             crate::config::DEFAULT_STRIPE_CHUNK,
         );
-        Self::multirail(name, rails, sched, me, peers, host, stats, pool, tracer, 0)
+        Self::multirail(
+            name,
+            rails,
+            sched,
+            me,
+            peers,
+            host,
+            stats,
+            pool,
+            tracer,
+            0,
+            PollPolicy::default(),
+        )
     }
 
     /// The general constructor: a channel over `rails.len()` rails. The
@@ -148,13 +183,19 @@ impl Channel {
         pool: BufPool,
         tracer: Arc<Tracer>,
         ack_base: u64,
+        poll: PollPolicy,
     ) -> Arc<Self> {
         assert!(!rails.is_empty(), "a channel needs at least one rail");
-        let conns = Connections::new(me, &peers);
+        assert!(rails.len() <= 64, "the live-rail mask is one u64");
+        let conns = Arc::new(Connections::new(me, &peers));
+        let live_mask = Arc::new(AtomicU64::new(u64::MAX >> (64 - rails.len())));
+        for r in &rails {
+            r.attach_live_mask(Arc::clone(&live_mask));
+        }
         Arc::new(Channel {
             name,
-            rails,
-            sched,
+            rails: Arc::new(rails),
+            sched: Arc::new(sched),
             conns,
             me,
             peers,
@@ -165,6 +206,9 @@ impl Channel {
             open_rx: AtomicUsize::new(0),
             tracer,
             ack_base,
+            live_mask,
+            poll,
+            engine: ProgressEngine::new(),
         })
     }
 
@@ -266,9 +310,7 @@ impl Channel {
             me: self.me,
             stats: &self.stats,
             tracer: &self.tracer,
-            ack_tag: (self.ack_base << 40)
-                | ((sender as u64 & 0xFFF) << 28)
-                | (block & 0x0FFF_FFFF),
+            ack_tag: stripe_ack_tag(self.ack_base, sender, block),
         }
     }
 
@@ -312,6 +354,10 @@ impl Channel {
         );
         time::advance(VDuration::from_micros_f64(self.host.begin_op_us));
         let conn = self.conns.get(dst).expect("membership asserted above");
+        // Ordering fence: nonblocking ops already posted toward this peer
+        // must hit the wire before a blocking message claims the next
+        // sequence number, or the peer would see the stream out of order.
+        self.engine.drain_conn(conn);
         let seq = conn.next_send_seq();
         let multirail = self.rails.len() > 1;
         let rail = if multirail {
@@ -383,9 +429,10 @@ impl Channel {
     /// guarantees the next [`begin_unpacking`](Self::begin_unpacking) will
     /// not block waiting for an announcement.)
     pub fn has_incoming(&self) -> bool {
+        let live = self.live_mask.load(Ordering::Acquire);
         self.rails
             .iter()
-            .any(|r| r.is_alive() && r.pmm().poll_incoming().is_some())
+            .any(|r| live & (1 << r.id()) != 0 && r.pmm().poll_incoming().is_some())
     }
 
     /// Non-blocking [`begin_unpacking`](Self::begin_unpacking): `None`
@@ -455,11 +502,14 @@ impl Channel {
     }
 
     /// Poll every alive rail for an announced message (multirail only —
-    /// a single rail uses its PMM's blocking wait directly).
+    /// a single rail uses its PMM's blocking wait directly). Liveness is
+    /// read once per scan from the channel's cached mask — one atomic
+    /// word instead of a per-rail flag walk on this hot loop.
     fn wait_incoming_multirail(&self) -> (NodeId, usize) {
         loop {
-            for r in &self.rails {
-                if !r.is_alive() {
+            let live = self.live_mask.load(Ordering::Acquire);
+            for r in self.rails.iter() {
+                if live & (1 << r.id()) == 0 {
                     continue;
                 }
                 if let Some(src) = r.pmm().poll_incoming() {
@@ -506,6 +556,348 @@ impl Channel {
             )));
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Nonblocking ops (see `crate::progress` for the state machine).
+    // ------------------------------------------------------------------
+
+    /// Post a whole message to `dst` as a **nonblocking op**: the call
+    /// returns an [`OpId`] immediately; the message's frames ship as the
+    /// progress engine ticks (every frame that *can* go — short frames
+    /// with credits available — goes inside this call). The wire bytes are
+    /// identical to a `begin_packing`/`pack`/`end_packing` sequence over
+    /// the same blocks, so the peer receives it with the ordinary blocking
+    /// unpack API.
+    ///
+    /// Each block is `(data, smode, rmode)`; the op owns its bytes, so the
+    /// caller's buffers are free the moment this returns (`send_SAFER`
+    /// semantics — the price of not blocking until `send_CHEAPER`'s
+    /// late-read window closes).
+    ///
+    /// Per-peer FIFO holds: ops to one peer ship in posting order, and a
+    /// later [`begin_packing`](Self::begin_packing) to the same peer
+    /// fences behind them. Completion is observed through
+    /// [`test_op`](Self::test_op) / [`wait_op`](Self::wait_op) or by
+    /// draining [`completions`](Self::completions).
+    ///
+    /// # Panics
+    /// Panics if `dst` is not a member, is this node, or a blocking
+    /// outgoing message is currently open on the channel.
+    pub fn post_message(&self, dst: NodeId, blocks: Vec<(Bytes, SendMode, RecvMode)>) -> OpId {
+        assert!(
+            self.peers.contains(&dst),
+            "node {dst} is not a member of channel {:?}",
+            self.name
+        );
+        assert_ne!(
+            dst, self.me,
+            "cannot send to self on channel {:?}",
+            self.name
+        );
+        assert_eq!(
+            self.open_tx.load(Ordering::Acquire),
+            0,
+            "post_message on channel {:?} while a blocking outgoing message \
+             is open (finish end_packing first)",
+            self.name
+        );
+        time::advance(VDuration::from_micros_f64(self.host.begin_op_us));
+        let conn = self.conns.get(dst).expect("membership asserted above");
+        let multirail = self.rails.len() > 1;
+        let rail = if multirail {
+            self.sched.home_rail(conn.index(), &self.rails)
+        } else {
+            0
+        };
+        self.tracer.record(TraceEvent::PostMessage { dst });
+        if multirail {
+            self.tracer.record(TraceEvent::RailSelect { dst, rail });
+        }
+        // The header frame claims its sequence number when it *ships*
+        // (first op step), not here — cancelling a never-started op must
+        // not leave a gap in the connection's sequence space.
+        let mut frames = VecDeque::with_capacity(blocks.len() + 1);
+        frames.push_back(FrameStep::Header);
+        for (data, smode, rmode) in blocks {
+            // Host-side descriptor cost, charged at posting like the
+            // blocking path charges per pack.
+            time::advance(VDuration::from_micros_f64(self.host.pack_op_us));
+            if self
+                .sched
+                .should_stripe(data.len(), smode, rmode, self.rails.len())
+            {
+                frames.push_back(FrameStep::Stripe { data });
+            } else {
+                frames.push_back(FrameStep::Tm { data, smode, rmode });
+            }
+        }
+        time::advance(VDuration::from_micros_f64(self.host.end_op_us));
+        let op = MessageSendOp {
+            dst,
+            rail,
+            rails: Arc::clone(&self.rails),
+            sched: Arc::clone(&self.sched),
+            conns: Arc::clone(&self.conns),
+            stats: Arc::clone(&self.stats),
+            tracer: Arc::clone(&self.tracer),
+            me: self.me,
+            ack_base: self.ack_base,
+            frames,
+            pending: None,
+            started: false,
+            done_at: VTime::ZERO,
+            stripe_announced: false,
+        };
+        let id = self.engine.post(conn, Box::new(op));
+        // Opportunistic first tick: a message whose frames need no peer
+        // event is fully on the wire when post_message returns.
+        self.engine.advance_conn(conn);
+        id
+    }
+
+    /// One progress-engine tick: advance the head op of every peer's
+    /// in-flight list as far as it can go. Returns how many ops retired.
+    pub fn progress(&self) -> usize {
+        self.engine.progress(&self.conns)
+    }
+
+    /// Nonblocking completion test: ticks the engine once and consumes the
+    /// op's result if it retired. On success the caller's clock is
+    /// synchronized with the op's local completion instant.
+    pub fn test_op(&self, id: OpId) -> Option<MadResult<VTime>> {
+        self.engine.progress(&self.conns);
+        let r = self.engine.take_result(id)?;
+        if let Ok(at) = r {
+            time::advance_to(at);
+        }
+        Some(r)
+    }
+
+    /// Block until op `id` retires, driving the engine through the
+    /// channel's [`PollPolicy`] (an interrupt-path wait charges its wakeup
+    /// latency here, after synchronizing with the completion instant).
+    pub fn wait_op(&self, id: OpId) -> MadResult<VTime> {
+        let r = self.poll.drive(|| {
+            self.engine.progress(&self.conns);
+            self.engine.take_result(id)
+        });
+        if let Ok(at) = r {
+            time::advance_to(at);
+        }
+        time::advance(crate::polling::take_pending_wakeup_charge());
+        r
+    }
+
+    /// Cancel a posted op that has not shipped anything yet (see
+    /// [`ProgressEngine::cancel`]).
+    pub fn cancel_op(&self, id: OpId) -> bool {
+        self.engine.cancel(&self.conns, id)
+    }
+
+    /// The channel's progress engine (op states, in-flight count).
+    pub fn engine(&self) -> &ProgressEngine {
+        &self.engine
+    }
+
+    /// The queue finished nonblocking ops land on.
+    pub fn completions(&self) -> &CompletionQueue<Completion> {
+        self.engine.completions()
+    }
+
+    /// The engine-driving wait policy of this channel.
+    pub fn poll_policy(&self) -> PollPolicy {
+        self.poll
+    }
+
+    /// Force-quarantine rail `idx`, as a link failure would (fault
+    /// injection hook for tests).
+    #[doc(hidden)]
+    pub fn quarantine_rail(&self, idx: usize) {
+        self.rails[idx].quarantine(&self.stats, &self.tracer);
+    }
+}
+
+/// One shippable unit of a posted message.
+enum FrameStep {
+    /// The 16-byte library header; claims the connection's next sequence
+    /// number at ship time.
+    Header,
+    /// A block routed through the home rail's PMM-selected TM.
+    Tm {
+        data: Bytes,
+        smode: SendMode,
+        rmode: RecvMode,
+    },
+    /// A multirail striped bulk block.
+    Stripe { data: Bytes },
+}
+
+/// A TM continuation parked between ticks, with the accounting recorded
+/// once the frame actually ships.
+struct PendingFrame {
+    kind: PendingKind,
+    cont: Box<dyn TmPending>,
+    tm: TmId,
+    len: usize,
+}
+
+/// The send-side message state machine behind [`Channel::post_message`]:
+/// ships the header and every block frame in order, parking in
+/// `CreditWait` / `RendezvousWait` / `StripePartial` whenever a frame
+/// needs a peer event, and failing fast (`ChannelDown`) when its rails
+/// die under it.
+struct MessageSendOp {
+    dst: NodeId,
+    /// Home rail; fixed once the header frame ships (the receiver pins
+    /// the message's un-striped blocks to the announcing rail).
+    rail: usize,
+    rails: Arc<Vec<Rail>>,
+    sched: Arc<RailScheduler>,
+    conns: Arc<Connections>,
+    stats: Arc<Stats>,
+    tracer: Arc<Tracer>,
+    me: NodeId,
+    ack_base: u64,
+    frames: VecDeque<FrameStep>,
+    pending: Option<PendingFrame>,
+    started: bool,
+    done_at: VTime,
+    /// A striped frame spends one tick announced as `StripePartial`
+    /// before the (virtual-time-atomic) stripe executes, so observers see
+    /// the state.
+    stripe_announced: bool,
+}
+
+impl MessageSendOp {
+    fn park_state(kind: PendingKind) -> OpState {
+        match kind {
+            PendingKind::Credit => OpState::CreditWait,
+            PendingKind::Rendezvous => OpState::RendezvousWait,
+        }
+    }
+}
+
+impl OpStep for MessageSendOp {
+    fn try_advance(&mut self) -> StepOutcome {
+        // A dead home rail fails the op: before anything shipped we could
+        // re-home, but after the header is out the receiver expects the
+        // rest of the message on the announcing rail. Re-home only in the
+        // nothing-shipped case; otherwise surface the fault.
+        if !self.rails[self.rail].is_alive() {
+            if self.started {
+                if let Some(mut p) = self.pending.take() {
+                    p.cont.cancel();
+                }
+                return StepOutcome::Failed(MadError::ChannelDown);
+            }
+            let conn = self.conns.get(self.dst).expect("membership checked");
+            let next = self.sched.home_rail(conn.index(), &self.rails);
+            if !self.rails[next].is_alive() {
+                return StepOutcome::Failed(MadError::ChannelDown);
+            }
+            self.rail = next;
+            self.tracer.record(TraceEvent::RailSelect {
+                dst: self.dst,
+                rail: next,
+            });
+        }
+        // The parked continuation goes first: frames ship strictly in
+        // order.
+        if let Some(mut p) = self.pending.take() {
+            match p.cont.try_advance() {
+                Ok(TmStep::Pending) => {
+                    let state = Self::park_state(p.kind);
+                    self.pending = Some(p);
+                    return StepOutcome::Pending(state);
+                }
+                Ok(TmStep::Done(at)) => {
+                    self.stats.record_tm_traffic(p.tm, p.len);
+                    self.stats.record_buffer_sent();
+                    self.done_at = self.done_at.max(at);
+                }
+                Err(e) => return StepOutcome::Failed(e),
+            }
+        }
+        while let Some(frame) = self.frames.pop_front() {
+            let (data, smode, rmode) = match frame {
+                FrameStep::Header => {
+                    // The point of no return: the sequence number is
+                    // claimed, so from here the op must run to a terminal
+                    // state (cancel is refused once `started`).
+                    let conn = self.conns.get(self.dst).expect("membership checked");
+                    let seq = conn.next_send_seq();
+                    let mut hdr = [0u8; HEADER_LEN];
+                    hdr[0..4].copy_from_slice(&HEADER_MAGIC.to_le_bytes());
+                    hdr[4..8].copy_from_slice(&(self.me as u32).to_le_bytes());
+                    hdr[8..12].copy_from_slice(&seq.to_le_bytes());
+                    (
+                        Bytes::copy_from_slice(&hdr),
+                        SendMode::Cheaper,
+                        RecvMode::Express,
+                    )
+                }
+                FrameStep::Tm { data, smode, rmode } => (data, smode, rmode),
+                FrameStep::Stripe { data } => {
+                    if !self.stripe_announced {
+                        self.stripe_announced = true;
+                        self.frames.push_front(FrameStep::Stripe { data });
+                        return StepOutcome::Pending(OpState::StripePartial);
+                    }
+                    self.stripe_announced = false;
+                    self.started = true;
+                    let conn = self.conns.get(self.dst).expect("membership checked");
+                    let ctx = StripeCtx {
+                        rails: &self.rails,
+                        sched: &self.sched,
+                        me: self.me,
+                        stats: &self.stats,
+                        tracer: &self.tracer,
+                        ack_tag: stripe_ack_tag(
+                            self.ack_base,
+                            self.me,
+                            conn.next_tx_stripe_block(),
+                        ),
+                    };
+                    if let Err(e) = rail::stripe_send(&ctx, self.dst, &data) {
+                        return StepOutcome::Failed(e);
+                    }
+                    self.done_at = self.done_at.max(time::now());
+                    continue;
+                }
+            };
+            let pmm = self.rails[self.rail].pmm();
+            let tm = pmm.select(data.len(), smode, rmode);
+            let len = data.len();
+            self.started = true;
+            match pmm.tm(tm).post_send(self.dst, data) {
+                Ok(TmSend::Done(at)) => {
+                    self.stats.record_tm_traffic(tm, len);
+                    self.stats.record_buffer_sent();
+                    self.done_at = self.done_at.max(at);
+                }
+                Ok(TmSend::Pending(cont)) => {
+                    let kind = cont.kind();
+                    self.pending = Some(PendingFrame { kind, cont, tm, len });
+                    return StepOutcome::Pending(Self::park_state(kind));
+                }
+                Err(e) => return StepOutcome::Failed(e),
+            }
+        }
+        self.stats.record_message();
+        StepOutcome::Done(self.done_at.max(time::now()))
+    }
+
+    fn started(&self) -> bool {
+        self.started
+    }
+
+    fn on_cancel(&mut self) {
+        debug_assert!(!self.started, "cancel of a started op");
+        if let Some(mut p) = self.pending.take() {
+            p.cont.cancel();
+        }
+        self.frames.clear();
     }
 }
 

@@ -14,8 +14,10 @@
 //! engine a wire-free agreement on a per-block ack tag (see
 //! [`crate::rail`]).
 
+use crate::progress::OpId;
 use madsim_net::NodeId;
-use std::collections::HashMap;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Ordering state for one peer of a channel.
@@ -34,6 +36,12 @@ pub struct Connection {
     tx_stripe_blocks: AtomicU64,
     /// Striped blocks received from the peer (multirail only).
     rx_stripe_blocks: AtomicU64,
+    /// Nonblocking ops posted toward the peer, oldest first. The progress
+    /// engine advances only the head, so the wire stream stays in posting
+    /// order and at most one rendezvous per peer is outstanding (a CTS can
+    /// never pair with the wrong long send). Empty in blocking-only
+    /// programs — the fast path pays one uncontended lock per fence check.
+    in_flight: Mutex<VecDeque<OpId>>,
 }
 
 impl Connection {
@@ -45,6 +53,7 @@ impl Connection {
             recv_seq: AtomicU32::new(0),
             tx_stripe_blocks: AtomicU64::new(0),
             rx_stripe_blocks: AtomicU64::new(0),
+            in_flight: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -87,6 +96,33 @@ impl Connection {
     pub(crate) fn next_rx_stripe_block(&self) -> u64 {
         self.rx_stripe_blocks.fetch_add(1, Ordering::Relaxed)
     }
+
+    /// Append an op to the tail of the in-flight list.
+    pub(crate) fn push_in_flight(&self, id: OpId) {
+        self.in_flight.lock().push_back(id);
+    }
+
+    /// The op whose turn it is (FIFO head), if any.
+    pub(crate) fn front_in_flight(&self) -> Option<OpId> {
+        self.in_flight.lock().front().copied()
+    }
+
+    /// Retire the head op (must be `id`).
+    pub(crate) fn pop_in_flight(&self, id: OpId) {
+        let mut q = self.in_flight.lock();
+        debug_assert_eq!(q.front(), Some(&id), "ops retire in FIFO order");
+        q.retain(|&x| x != id);
+    }
+
+    /// Remove a cancelled op wherever it sits in the list.
+    pub(crate) fn remove_in_flight(&self, id: OpId) {
+        self.in_flight.lock().retain(|&x| x != id);
+    }
+
+    /// Whether no nonblocking op is outstanding toward the peer.
+    pub(crate) fn in_flight_is_empty(&self) -> bool {
+        self.in_flight.lock().is_empty()
+    }
 }
 
 /// The frozen connection table of one channel: one [`Connection`] per
@@ -121,6 +157,11 @@ impl Connections {
 
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// Iterate over every peer's connection (order unspecified).
+    pub fn iter(&self) -> impl Iterator<Item = &Connection> {
+        self.map.values()
     }
 }
 

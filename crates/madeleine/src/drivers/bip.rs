@@ -19,15 +19,19 @@ use crate::pmm::Pmm;
 use crate::polling::PollPolicy;
 use crate::pool::BufPool;
 use crate::stats::Stats;
-use crate::tm::{StaticBuf, TmCaps, TmId, TransmissionModule};
+use crate::tm::{
+    PendingKind, StaticBuf, TmCaps, TmId, TmPending, TmSend, TmStep, TransmissionModule,
+};
 use crate::trace::{TraceEvent, Tracer};
+use bytes::Bytes;
 use madsim_net::stacks::bip::{Bip, BIP_SHORT_MAX, BIP_SHORT_RING};
+use madsim_net::time::{VDuration, VTime};
 use madsim_net::world::Adapter;
 use madsim_net::NodeId;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Blocks shorter than this ride the short TM (BIP's own boundary).
 pub const SHORT_LIMIT: usize = BIP_SHORT_MAX;
@@ -66,7 +70,7 @@ pub fn build(
         bip: bip.clone(),
         data_tag: tag(channel_id, SUB_DATA),
         credit_tag: tag(channel_id, SUB_CREDIT),
-        flow: Mutex::new(HashMap::new()),
+        flow: Arc::new(Mutex::new(HashMap::new())),
         host,
         stats: Arc::clone(&stats),
         pool,
@@ -156,11 +160,24 @@ fn credit_value(pkt: &[u8]) -> MadResult<usize> {
     Ok(u32::from_le_bytes(bytes) as usize)
 }
 
+/// Decrement a credit for `peer` if one is available (nonblocking half of
+/// [`BipShortTm::take_credit`], shared with the credit-wait continuation).
+fn try_take_credit(flow: &Mutex<HashMap<NodeId, FlowState>>, peer: NodeId) -> bool {
+    let mut flow = flow.lock();
+    let st = flow.entry(peer).or_default();
+    if st.credits > 0 {
+        st.credits -= 1;
+        true
+    } else {
+        false
+    }
+}
+
 struct BipShortTm {
     bip: Bip,
     data_tag: u64,
     credit_tag: u64,
-    flow: Mutex<HashMap<NodeId, FlowState>>,
+    flow: Arc<Mutex<HashMap<NodeId, FlowState>>>,
     host: HostModel,
     stats: Arc<Stats>,
     pool: BufPool,
@@ -192,13 +209,8 @@ impl BipShortTm {
     fn take_credit(&self, peer: NodeId) -> MadResult<()> {
         loop {
             self.drain_credits(peer)?;
-            {
-                let mut flow = self.flow.lock();
-                let st = flow.entry(peer).or_default();
-                if st.credits > 0 {
-                    st.credits -= 1;
-                    return Ok(());
-                }
+            if try_take_credit(&self.flow, peer) {
+                return Ok(());
             }
             // Out of credits: block until the receiver returns some. On a
             // fault-armed fabric the wait is bounded — a vanished credit
@@ -298,6 +310,86 @@ impl TransmissionModule for BipShortTm {
         // Pool-backed: obtain/release cycles recycle warm slabs.
         StaticBuf::pooled(self.pool.checkout(BIP_SHORT_MAX), 0)
     }
+
+    fn post_send(&self, dst: NodeId, data: Bytes) -> MadResult<TmSend> {
+        // Stage exactly like the blocking dynamic entry point…
+        let mut buf = self.obtain_static_buffer();
+        assert!(data.len() <= buf.spare(), "short TM buffer overflow");
+        buf.spare_mut()[..data.len()].copy_from_slice(&data);
+        buf.advance(data.len());
+        madsim_net::time::advance(self.host.memcpy(data.len()));
+        self.stats.record_tm_copy(data.len());
+        // …but take the credit nonblockingly: out of credits becomes a
+        // CreditWait continuation instead of a spin.
+        self.drain_credits(dst)?;
+        if try_take_credit(&self.flow, dst) {
+            self.bip.send_short(dst, self.data_tag, buf.filled());
+            return Ok(TmSend::Done(madsim_net::time::now()));
+        }
+        Ok(TmSend::Pending(Box::new(CreditWaitSend {
+            bip: self.bip.clone(),
+            flow: Arc::clone(&self.flow),
+            data_tag: self.data_tag,
+            credit_tag: self.credit_tag,
+            dst,
+            buf: Some(buf),
+            deadline: None,
+            stats: Arc::clone(&self.stats),
+            tracer: Arc::clone(&self.tracer),
+        })))
+    }
+}
+
+/// A short block staged in a static buffer, waiting for a flow-control
+/// credit. Each poll absorbs queued credit returns and ships the block as
+/// soon as one is available; on a fault-armed fabric the wait is bounded
+/// by the same [`FAULT_WAIT`] the blocking path uses.
+struct CreditWaitSend {
+    bip: Bip,
+    flow: Arc<Mutex<HashMap<NodeId, FlowState>>>,
+    data_tag: u64,
+    credit_tag: u64,
+    dst: NodeId,
+    buf: Option<StaticBuf>,
+    deadline: Option<Instant>,
+    stats: Arc<Stats>,
+    tracer: Arc<Tracer>,
+}
+
+impl TmPending for CreditWaitSend {
+    fn kind(&self) -> PendingKind {
+        PendingKind::Credit
+    }
+
+    fn try_advance(&mut self) -> MadResult<TmStep> {
+        while let Some(pkt) = self.bip.try_recv_short_from(self.dst, self.credit_tag) {
+            let n = credit_value(&pkt)?;
+            self.flow.lock().entry(self.dst).or_default().credits += n;
+        }
+        if try_take_credit(&self.flow, self.dst) {
+            let buf = self.buf.take().expect("credit-wait block already shipped");
+            self.bip.send_short(self.dst, self.data_tag, buf.filled());
+            return Ok(TmStep::Done(madsim_net::time::now()));
+        }
+        if self.bip.adapter().faulty() {
+            if !self.bip.adapter().reachable_to(self.dst) {
+                return Err(MadError::PeerUnreachable { peer: self.dst });
+            }
+            let deadline = *self.deadline.get_or_insert_with(|| Instant::now() + FAULT_WAIT);
+            if Instant::now() >= deadline {
+                self.stats.record_link_timeout();
+                self.tracer.record(TraceEvent::CreditTimeout { peer: self.dst });
+                return Err(MadError::ChannelDown);
+            }
+        }
+        Ok(TmStep::Pending)
+    }
+
+    fn cancel(&mut self) {
+        // Nothing reached the wire; the staged buffer drops back to the
+        // pool.
+        self.buf = None;
+    }
 }
 
 struct BipLongTm {
@@ -382,5 +474,77 @@ impl TransmissionModule for BipLongTm {
     fn prefetch(&self, src: NodeId) {
         self.bip.post_cts(src, self.long_tag);
         *self.cts_ahead.lock().entry(src).or_insert(0) += 1;
+    }
+
+    fn post_send(&self, dst: NodeId, data: Bytes) -> MadResult<TmSend> {
+        if let Some(cts) = self.bip.try_take_cts(dst, self.long_tag) {
+            let start = madsim_net::time::now().max(cts);
+            let local_done = self.bip.send_long_from(dst, self.long_tag, data, start);
+            let host_post = VDuration::from_micros_f64(self.bip.timing().host_post_us);
+            return Ok(TmSend::Done(local_done + host_post));
+        }
+        if self.bip.adapter().faulty() && !self.bip.adapter().reachable_to(dst) {
+            return Err(MadError::PeerUnreachable { peer: dst });
+        }
+        Ok(TmSend::Pending(Box::new(RendezvousSend {
+            bip: self.bip.clone(),
+            long_tag: self.long_tag,
+            dst,
+            data: Some(data),
+            posted_at: madsim_net::time::now(),
+            deadline: None,
+            stats: Arc::clone(&self.stats),
+            tracer: Arc::clone(&self.tracer),
+        })))
+    }
+}
+
+/// A long block waiting for the receiver's clear-to-send. When the CTS
+/// shows up, the transfer is anchored at `max(posted_at, cts_arrival)`:
+/// the LANai DMA ran while the host computed, so a poller that notices the
+/// CTS late still gets the overlapped timeline — this is the whole point
+/// of the nonblocking path.
+struct RendezvousSend {
+    bip: Bip,
+    long_tag: u64,
+    dst: NodeId,
+    data: Option<Bytes>,
+    posted_at: VTime,
+    deadline: Option<Instant>,
+    stats: Arc<Stats>,
+    tracer: Arc<Tracer>,
+}
+
+impl TmPending for RendezvousSend {
+    fn kind(&self) -> PendingKind {
+        PendingKind::Rendezvous
+    }
+
+    fn try_advance(&mut self) -> MadResult<TmStep> {
+        if let Some(cts) = self.bip.try_take_cts(self.dst, self.long_tag) {
+            let data = self.data.take().expect("rendezvous block already shipped");
+            let start = self.posted_at.max(cts);
+            let local_done = self.bip.send_long_from(self.dst, self.long_tag, data, start);
+            let host_post = VDuration::from_micros_f64(self.bip.timing().host_post_us);
+            return Ok(TmStep::Done(local_done + host_post));
+        }
+        if self.bip.adapter().faulty() {
+            if !self.bip.adapter().reachable_to(self.dst) {
+                return Err(MadError::PeerUnreachable { peer: self.dst });
+            }
+            let deadline = *self.deadline.get_or_insert_with(|| Instant::now() + FAULT_WAIT);
+            if Instant::now() >= deadline {
+                // Same taxonomy as the blocking rendezvous: an expired
+                // handshake marks the channel down (BIP cannot retransmit).
+                self.stats.record_link_timeout();
+                self.tracer.record(TraceEvent::CreditTimeout { peer: self.dst });
+                return Err(MadError::ChannelDown);
+            }
+        }
+        Ok(TmStep::Pending)
+    }
+
+    fn cancel(&mut self) {
+        self.data = None;
     }
 }

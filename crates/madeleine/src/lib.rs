@@ -58,6 +58,9 @@
 //! * [`drivers`] — BIP, SISCI, TCP, VIA, and SBP protocol modules;
 //! * [`pool`] — reusable pooled buffer segments backing the zero-copy
 //!   send path (headers, SAFER copies, static-buffer packing);
+//! * [`progress`] — the event-driven progress engine: posted messages as
+//!   resumable state machines, advanced by ticks, retiring onto
+//!   completion queues;
 //! * [`stats`] — copy accounting backing the zero-copy claims;
 //! * [`config`], [`session`] — session setup.
 
@@ -71,6 +74,7 @@ pub mod flags;
 pub mod pmm;
 pub mod polling;
 pub mod pool;
+pub mod progress;
 pub mod rail;
 pub mod session;
 pub mod stats;
@@ -85,6 +89,7 @@ pub use error::{MadError, MadResult};
 pub use flags::{RecvMode, SendMode};
 pub use polling::PollPolicy;
 pub use pool::{BufPool, PooledBuf};
+pub use progress::{Completion, CompletionQueue, OpId, OpState, ProgressEngine};
 pub use rail::Rail;
 pub use session::Madeleine;
 pub use stats::{Stats, StatsSnapshot};

@@ -99,6 +99,16 @@ impl PollPolicy {
             }
         }
     }
+
+    /// [`wait`](Self::wait) for probes with *idempotent side effects* —
+    /// specifically a progress-engine tick, which may ship frames and
+    /// retire ops on each call. The cost model is identical (a hit on the
+    /// first probe is free; a parked wakeup charges the interrupt
+    /// latency); the separate entry point exists because `wait` documents
+    /// its probe as side-effect-free and the engine's is deliberately not.
+    pub fn drive<T>(&self, probe: impl FnMut() -> Option<T>) -> T {
+        self.wait(probe)
+    }
 }
 
 thread_local! {

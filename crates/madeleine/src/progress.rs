@@ -1,0 +1,405 @@
+//! The event-driven progress engine: nonblocking message state machines.
+//!
+//! Madeleine II's pack/unpack interface is synchronous: `end_packing`
+//! returns when the message is on the wire (or handed to the NIC). That is
+//! the right primitive for the paper's RPC-style upper layers, but it
+//! forfeits compute/communication overlap — an `isend` built on it must
+//! either copy or block through the rendezvous. This module inverts the
+//! control flow: a posted message becomes an **op** — a small state
+//! machine — parked in a per-session table, and a `progress()` tick
+//! advances every op that can move. Finished ops land on a
+//! [`CompletionQueue`] the caller drains.
+//!
+//! ## Op lifecycle
+//!
+//! ```text
+//! Posted ──▶ (frames ship one by one) ──▶ Complete
+//!    │             │
+//!    │             ├─ short TM out of credits ──▶ CreditWait ──┐
+//!    │             ├─ long TM, no CTS yet ──▶ RendezvousWait ──┤
+//!    │             └─ striped block pending ──▶ StripePartial ─┤
+//!    │                                                         │
+//!    └──────────────── rail dies / wait expires ──▶ Failed ◀───┘
+//! ```
+//!
+//! * **Posted** — accepted, nothing irrevocable has happened yet; the op
+//!   can still be cancelled.
+//! * **CreditWait** — a short-TM frame is staged in a static buffer but
+//!   the peer's receive ring is full; waiting for a credit return.
+//! * **RendezvousWait** — a long-TM frame is waiting for the receiver's
+//!   CTS. When the CTS arrives, the transfer is anchored at
+//!   `max(posted_at, cts_arrival)` — in virtual time the NIC DMA'd the
+//!   payload *while the host computed*, which is exactly the overlap a
+//!   real progress thread buys.
+//! * **StripePartial** — a multirail striped block is in flight.
+//! * **Complete / Failed** — terminal; the op is removed from the table,
+//!   its result is recorded, and a [`Completion`] is queued.
+//!
+//! ## Tick semantics
+//!
+//! One [`ProgressEngine::progress`] call makes a bounded pass: for every
+//! peer connection it advances the **head** op of that peer's in-flight
+//! list as far as it can go (per-peer FIFO keeps the wire stream in
+//! `begin_packing` order and guarantees at most one outstanding rendezvous
+//! per peer, so CTS frames can never pair with the wrong long send).
+//! Ticks never block: an op that cannot move is left in its wait state.
+//!
+//! ## Completion-queue ordering
+//!
+//! Completions are queued in the order ops *complete*, not the order they
+//! were posted: a short message to peer B overtakes an earlier rendezvous
+//! to peer A that is still waiting for its CTS. Within one peer, order is
+//! FIFO. [`ProgressEngine::take_result`] consumes a result by handle and
+//! removes the matching queue entry, so drainers of the queue and callers
+//! of `take_result` never see the same op twice.
+
+use crate::connection::{Connection, Connections};
+use crate::error::{MadError, MadResult};
+use madsim_net::time::VTime;
+use madsim_net::NodeId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Handle of a posted nonblocking operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub u64);
+
+/// Where an in-flight op currently stands (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpState {
+    /// Accepted; no frame has shipped yet.
+    Posted,
+    /// A short-TM frame is staged, waiting for a flow-control credit.
+    CreditWait,
+    /// A long-TM frame is waiting for the receiver's CTS.
+    RendezvousWait,
+    /// A multirail striped block is partially transferred.
+    StripePartial,
+    /// Terminal: the op finished; its result is `Ok`.
+    Complete,
+    /// Terminal: the op finished; its result is `Err`.
+    Failed,
+}
+
+/// What one `try_advance` call achieved.
+pub enum StepOutcome {
+    /// The op cannot finish yet; it is parked in the given state.
+    Pending(OpState),
+    /// The op finished; local work completes at the given virtual instant.
+    Done(VTime),
+    /// The op failed terminally.
+    Failed(MadError),
+}
+
+/// A resumable message state machine. Implementations must never block on
+/// peer events inside `try_advance` — that is the entire point.
+pub(crate) trait OpStep: Send {
+    /// Push the op as far as it can go without waiting on the peer.
+    fn try_advance(&mut self) -> StepOutcome;
+    /// Whether anything irrevocable (a frame on the wire) happened yet.
+    fn started(&self) -> bool;
+    /// Release resources of a never-started op.
+    fn on_cancel(&mut self);
+}
+
+/// A finished op, as seen by drainers of the completion queue.
+#[derive(Clone, Debug)]
+pub struct Completion {
+    pub id: OpId,
+    /// The peer the op addressed.
+    pub peer: NodeId,
+    /// `Ok(t)`: local send-side work completed at virtual instant `t`.
+    pub result: MadResult<VTime>,
+}
+
+struct CqInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// An unbounded multi-producer multi-consumer queue with close semantics —
+/// the terminal stage of the progress engine, and a reusable primitive for
+/// any pipeline that hands finished work between threads (the gateway
+/// forwarder uses one per direction).
+pub struct CompletionQueue<T> {
+    inner: Mutex<CqInner<T>>,
+    cond: Condvar,
+}
+
+impl<T> Default for CompletionQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CompletionQueue<T> {
+    pub fn new() -> Self {
+        CompletionQueue {
+            inner: Mutex::new(CqInner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Enqueue an item. Returns `false` (dropping the item) if the queue
+    /// has been closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut g = self.inner.lock();
+        if g.closed {
+            return false;
+        }
+        g.items.push_back(item);
+        drop(g);
+        self.cond.notify_one();
+        true
+    }
+
+    /// Dequeue without blocking.
+    pub fn try_pop(&self) -> Option<T> {
+        self.inner.lock().items.pop_front()
+    }
+
+    /// Dequeue, blocking until an item arrives. Returns `None` only once
+    /// the queue is closed **and** drained.
+    pub fn pop_wait(&self) -> Option<T> {
+        let mut g = self.inner.lock();
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            self.cond.wait(&mut g);
+        }
+    }
+
+    /// Close the queue: further pushes are rejected, blocked poppers wake,
+    /// already-queued items remain poppable.
+    pub fn close(&self) {
+        self.inner.lock().closed = true;
+        self.cond.notify_all();
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().items.is_empty()
+    }
+
+    /// Take everything currently queued.
+    pub fn drain(&self) -> Vec<T> {
+        self.inner.lock().items.drain(..).collect()
+    }
+
+    /// Drop every queued item matching the predicate.
+    fn remove_where(&self, mut pred: impl FnMut(&T) -> bool) {
+        self.inner.lock().items.retain(|it| !pred(it));
+    }
+}
+
+struct OpSlot {
+    peer: NodeId,
+    state: OpState,
+    step: Box<dyn OpStep>,
+}
+
+/// The per-session progress engine: an op table plus the machinery that
+/// drives it (see module docs for tick and ordering semantics).
+pub struct ProgressEngine {
+    next_id: AtomicU64,
+    ops: Mutex<HashMap<u64, OpSlot>>,
+    results: Mutex<HashMap<u64, MadResult<VTime>>>,
+    completions: CompletionQueue<Completion>,
+    /// Serializes ticks so concurrent callers (an app thread inside
+    /// `wait` and another inside `post`) never advance the same op twice.
+    tick: Mutex<()>,
+}
+
+impl Default for ProgressEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProgressEngine {
+    pub fn new() -> Self {
+        ProgressEngine {
+            next_id: AtomicU64::new(1),
+            ops: Mutex::new(HashMap::new()),
+            results: Mutex::new(HashMap::new()),
+            completions: CompletionQueue::new(),
+            tick: Mutex::new(()),
+        }
+    }
+
+    /// Register a new op at the tail of `conn`'s in-flight list.
+    pub(crate) fn post(&self, conn: &Connection, step: Box<dyn OpStep>) -> OpId {
+        let id = OpId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        self.ops.lock().insert(
+            id.0,
+            OpSlot {
+                peer: conn.peer(),
+                state: OpState::Posted,
+                step,
+            },
+        );
+        conn.push_in_flight(id);
+        id
+    }
+
+    /// Advance the head op of one peer's in-flight list as far as it can
+    /// go, retiring every op that completes. Returns how many retired.
+    pub(crate) fn advance_conn(&self, conn: &Connection) -> usize {
+        let _serial = self.tick.lock();
+        let mut retired = 0;
+        while let Some(id) = conn.front_in_flight() {
+            let Some(mut slot) = self.ops.lock().remove(&id.0) else {
+                // Cancelled between the front peek and here.
+                break;
+            };
+            // The step runs without the table lock held: TM pendings may
+            // advance the virtual clock and touch driver state.
+            match slot.step.try_advance() {
+                StepOutcome::Pending(state) => {
+                    slot.state = state;
+                    self.ops.lock().insert(id.0, slot);
+                    break;
+                }
+                StepOutcome::Done(at) => {
+                    conn.pop_in_flight(id);
+                    self.retire(id, slot.peer, Ok(at));
+                    retired += 1;
+                }
+                StepOutcome::Failed(e) => {
+                    conn.pop_in_flight(id);
+                    self.retire(id, slot.peer, Err(e));
+                    retired += 1;
+                }
+            }
+        }
+        retired
+    }
+
+    fn retire(&self, id: OpId, peer: NodeId, result: MadResult<VTime>) {
+        self.results.lock().insert(id.0, result.clone());
+        self.completions.push(Completion { id, peer, result });
+    }
+
+    /// One engine tick: advance every peer's head op (see module docs).
+    /// Returns how many ops retired during the tick.
+    pub fn progress(&self, conns: &Connections) -> usize {
+        conns.iter().map(|c| self.advance_conn(c)).sum()
+    }
+
+    /// Drive one peer's in-flight list to empty. Blocks (spinning through
+    /// ticks) until every op addressed to `conn`'s peer has retired —
+    /// the ordering fence `begin_packing` uses so a blocking send never
+    /// overtakes posted ops to the same peer. On a fault-armed fabric the
+    /// ops' own bounded waits guarantee termination.
+    pub(crate) fn drain_conn(&self, conn: &Connection) {
+        loop {
+            self.advance_conn(conn);
+            if conn.in_flight_is_empty() {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Current state of an op, if the engine still knows it. Terminal
+    /// states are reported until the result is consumed.
+    pub fn state(&self, id: OpId) -> Option<OpState> {
+        if let Some(slot) = self.ops.lock().get(&id.0) {
+            return Some(slot.state);
+        }
+        self.results.lock().get(&id.0).map(|r| match r {
+            Ok(_) => OpState::Complete,
+            Err(_) => OpState::Failed,
+        })
+    }
+
+    /// Consume the result of a retired op. Removes the op's entry from the
+    /// completion queue too, so queue drainers never see it again.
+    /// `None` while the op is still in flight (or after it was cancelled).
+    pub fn take_result(&self, id: OpId) -> Option<MadResult<VTime>> {
+        let r = self.results.lock().remove(&id.0)?;
+        self.completions.remove_where(|c| c.id == id);
+        Some(r)
+    }
+
+    /// Cancel a posted op that has not shipped anything yet. Returns
+    /// `true` if the op was removed; `false` if it already started (or
+    /// already retired), in which case it must be driven to completion.
+    pub fn cancel(&self, conns: &Connections, id: OpId) -> bool {
+        let _serial = self.tick.lock();
+        let mut ops = self.ops.lock();
+        let Some(slot) = ops.get(&id.0) else {
+            return false;
+        };
+        if slot.step.started() {
+            return false;
+        }
+        let mut slot = ops.remove(&id.0).expect("checked above");
+        drop(ops);
+        slot.step.on_cancel();
+        if let Some(conn) = conns.get(slot.peer) {
+            conn.remove_in_flight(id);
+        }
+        true
+    }
+
+    /// Number of ops currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.ops.lock().len()
+    }
+
+    /// The queue finished ops land on.
+    pub fn completions(&self) -> &CompletionQueue<Completion> {
+        &self.completions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_queue_fifo_and_close() {
+        let q: CompletionQueue<u32> = CompletionQueue::new();
+        assert!(q.is_empty());
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.try_pop(), Some(1));
+        q.close();
+        assert!(!q.push(3), "push after close must be rejected");
+        assert_eq!(q.pop_wait(), Some(2), "queued items survive close");
+        assert_eq!(q.pop_wait(), None, "closed and drained");
+    }
+
+    #[test]
+    fn completion_queue_pop_wait_wakes_on_push() {
+        let q = std::sync::Arc::new(CompletionQueue::<u32>::new());
+        let q2 = std::sync::Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop_wait());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(q.push(7));
+        assert_eq!(t.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn completion_queue_remove_where() {
+        let q: CompletionQueue<u32> = CompletionQueue::new();
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        q.remove_where(|&v| v == 2);
+        assert_eq!(q.drain(), vec![1, 3]);
+    }
+}

@@ -44,8 +44,8 @@ use crate::stats::Stats;
 use crate::trace::{TraceEvent, Tracer};
 use madsim_net::time::{self, ClockHandle, VDuration, VTime};
 use madsim_net::{Adapter, Frame, NodeId};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Size of the per-chunk stripe header.
@@ -78,6 +78,10 @@ pub struct Rail {
     adapter: Option<Adapter>,
     /// Cleared when the rail is quarantined after a link failure.
     alive: AtomicBool,
+    /// The owning channel's cached live-rail bitmask (bit `id`), cleared
+    /// together with `alive` so hot wait paths can test one word instead
+    /// of re-walking every rail.
+    live_mask: OnceLock<Arc<AtomicU64>>,
 }
 
 impl Rail {
@@ -93,7 +97,14 @@ impl Rail {
             pool,
             adapter,
             alive: AtomicBool::new(true),
+            live_mask: OnceLock::new(),
         }
+    }
+
+    /// Hook the rail up to its channel's live-rail mask (set once at
+    /// channel construction).
+    pub(crate) fn attach_live_mask(&self, mask: Arc<AtomicU64>) {
+        let _ = self.live_mask.set(mask);
     }
 
     /// Rail index within its channel (0-based, dense).
@@ -120,7 +131,11 @@ impl Rail {
     /// Mark the rail out of service. Returns `true` iff this call made
     /// the transition (so the caller records the trace event once).
     fn mark_down(&self) -> bool {
-        self.alive.swap(false, Ordering::AcqRel)
+        let was_alive = self.alive.swap(false, Ordering::AcqRel);
+        if let Some(mask) = self.live_mask.get() {
+            mask.fetch_and(!(1u64 << self.id), Ordering::AcqRel);
+        }
+        was_alive
     }
 
     /// Quarantine the rail after a link failure, recording the event

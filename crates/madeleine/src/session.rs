@@ -104,6 +104,7 @@ impl Madeleine {
                 pool,
                 tracer,
                 idx as u64,
+                config.poll.0,
             );
             channels.insert(spec.name.clone(), channel);
         }

@@ -24,10 +24,53 @@
 use crate::error::MadResult;
 use crate::pool::PooledBuf;
 use bytes::Bytes;
+use madsim_net::time::{self, VTime};
 use madsim_net::NodeId;
 
 /// Index of a TM within its protocol module.
 pub type TmId = u8;
+
+/// Why a posted block cannot ship yet (mirrors the op states of
+/// [`crate::progress`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PendingKind {
+    /// Waiting for a flow-control credit from the receiver.
+    Credit,
+    /// Waiting for the receiver's rendezvous clear-to-send.
+    Rendezvous,
+}
+
+/// One poll of a pending TM send.
+pub enum TmStep {
+    /// The peer event has not arrived yet.
+    Pending,
+    /// The block shipped; local send-side work completes at this instant.
+    Done(VTime),
+}
+
+/// The resumable continuation of a [`TransmissionModule::post_send`] that
+/// could not complete inside the call. The progress engine polls it; it
+/// must never block.
+pub trait TmPending: Send {
+    fn kind(&self) -> PendingKind;
+
+    /// Check for the peer event and, if it arrived, ship the block. Errors
+    /// are terminal (dead peer, expired bounded wait on a faulty fabric).
+    fn try_advance(&mut self) -> MadResult<TmStep>;
+
+    /// Release resources without shipping (the op was cancelled before
+    /// anything reached the wire).
+    fn cancel(&mut self) {}
+}
+
+/// Outcome of [`TransmissionModule::post_send`].
+pub enum TmSend {
+    /// The block hit the (simulated) wire inside the call; local send-side
+    /// work completes at this instant.
+    Done(VTime),
+    /// The TM needs a peer event first; poll the continuation.
+    Pending(Box<dyn TmPending>),
+}
 
 /// Capabilities a TM advertises to the buffer-management layer.
 #[derive(Clone, Copy, Debug)]
@@ -231,6 +274,20 @@ pub trait TransmissionModule: Send + Sync {
     /// now so the transfer overlaps the caller's other work. The matching
     /// [`receive_buffer`](Self::receive_buffer) must follow eventually.
     fn prefetch(&self, _src: NodeId) {}
+
+    /// Nonblocking transmit of one owned block: either the block ships
+    /// inside the call, or the TM hands back a resumable continuation for
+    /// the progress engine to poll ([`TmSend::Pending`]).
+    ///
+    /// Default: delegate to the blocking [`send_buffer`](Self::send_buffer)
+    /// — correct for every TM whose send path completes locally without
+    /// waiting on a peer event (PIO stores, stream writes, preposted
+    /// descriptors). TMs with a genuine peer dependency (BIP's credit
+    /// scheme and long-message rendezvous) override it.
+    fn post_send(&self, dst: NodeId, data: Bytes) -> MadResult<TmSend> {
+        self.send_buffer(dst, &data)?;
+        Ok(TmSend::Done(time::now()))
+    }
 }
 
 #[cfg(test)]

@@ -23,6 +23,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 pub enum TraceEvent {
     /// `begin_packing(dst)`.
     BeginPacking { dst: NodeId },
+    /// `post_message(dst)` — a whole message posted as a nonblocking op
+    /// (recorded on the new op path only, so blocking-path trace streams
+    /// are unchanged).
+    PostMessage { dst: NodeId },
     /// A `pack` routed to a TM by the Switch.
     Pack {
         len: usize,

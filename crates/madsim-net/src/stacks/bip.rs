@@ -21,7 +21,7 @@
 use crate::fault::LinkError;
 use crate::frame::{Frame, NodeId};
 use crate::pci::BusKind;
-use crate::stacks::{charge_dest_bus, charge_send_bus};
+use crate::stacks::{charge_dest_bus, charge_send_bus, charge_send_bus_at};
 use crate::time::{self, VDuration, VTime};
 use crate::world::{Adapter, NetKind};
 use bytes::Bytes;
@@ -287,13 +287,37 @@ impl Bip {
     /// Second half of a long send, once the CTS for it has been received.
     fn send_long_after_cts(&self, dst: NodeId, tag: u64, data: Bytes, cts_arrival: VTime) {
         let t = self.timing;
-        let me = self.node();
         time::advance_to(cts_arrival);
+        let local_done = self.send_long_from(dst, tag, data, time::now());
+        time::advance_to(local_done);
+        time::advance(VDuration::from_micros_f64(t.host_post_us));
+    }
 
+    /// Non-blocking check for a pending clear-to-send from `dst` for `tag`;
+    /// consumes it and returns its arrival instant. The caller owns the
+    /// other half of the rendezvous: having taken the CTS it **must**
+    /// follow up with [`send_long_from`](Self::send_long_from).
+    pub fn try_take_cts(&self, dst: NodeId, tag: u64) -> Option<VTime> {
+        self.adapter
+            .inbox()
+            .try_recv_match(|f| f.kind == KIND_CTS && f.tag == tag && f.src == dst)
+            .map(|f| f.arrival)
+    }
+
+    /// Issue a long transfer whose rendezvous already completed, anchored
+    /// at the explicit instant `start` (at or after the CTS arrival) rather
+    /// than at the caller's clock — the LANai DMAs autonomously, so a
+    /// progress engine that notices a CTS late still gets a transfer that
+    /// began when the NIC saw it. Does **not** advance the caller's clock;
+    /// returns the local-completion instant (user buffer drained; add the
+    /// host-post cost for the CPU-side completion).
+    pub fn send_long_from(&self, dst: NodeId, tag: u64, data: Bytes, start: VTime) -> VTime {
+        let t = self.timing;
+        let me = self.node();
         let oneway =
             VDuration::from_micros_f64(t.long_lat_us + data.len() as f64 * t.long_per_byte_us);
         let bus_occ = VDuration::from_micros_f64(data.len() as f64 * t.bus_per_byte_us);
-        let arrival = charge_send_bus(&self.adapter, BusKind::Dma, oneway, bus_occ);
+        let arrival = charge_send_bus_at(&self.adapter, BusKind::Dma, start, oneway, bus_occ);
         let arrival = charge_dest_bus(&self.adapter, dst, BusKind::Dma, arrival, bus_occ);
         self.adapter.send_raw(
             dst,
@@ -307,9 +331,7 @@ impl Bip {
         );
         // Local completion: the wire hop is the only part that overlaps
         // with the caller.
-        let local_done = arrival.saturating_sub(VDuration::from_micros_f64(t.short_lat_us));
-        time::advance_to(local_done);
-        time::advance(VDuration::from_micros_f64(t.host_post_us));
+        arrival.saturating_sub(VDuration::from_micros_f64(t.short_lat_us))
     }
 
     /// Post a receive for a long message from `src` and block until it has

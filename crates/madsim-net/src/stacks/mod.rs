@@ -41,8 +41,22 @@ pub(crate) fn charge_send_bus(
     oneway: VDuration,
     bus_occ: VDuration,
 ) -> VTime {
+    charge_send_bus_at(adapter, kind, time::now(), oneway, bus_occ)
+}
+
+/// [`charge_send_bus`] with an explicit start instant `t0` instead of the
+/// caller's clock. A transfer whose trigger (a rendezvous CTS) arrived
+/// while the host was busy computing starts at the trigger's arrival, not
+/// at whenever the host got around to noticing it — this is what lets a
+/// progress engine anchor overlapped transfers retroactively.
+pub(crate) fn charge_send_bus_at(
+    adapter: &Adapter,
+    kind: BusKind,
+    t0: VTime,
+    oneway: VDuration,
+    bus_occ: VDuration,
+) -> VTime {
     debug_assert!(bus_occ <= oneway, "bus occupancy exceeds one-way time");
-    let t0 = time::now();
     if kind == BusKind::Dma {
         // The NIC's engine issues transactions across the whole local part
         // of the transfer, not one compressed burst.

@@ -23,4 +23,10 @@ cargo test -q -p mad-integration --test chaos -- --exact zero_fault_runs_count_n
 cargo run --release -p bench --bin rails -- --out BENCH_rails.json
 test -s BENCH_rails.json
 
+# Overlap stage: the nonblocking op path must buy real compute/transfer
+# overlap — the binary asserts >= 1.5x effective throughput for
+# compute-overlapped 1 MB exchanges over single-rail BIP.
+cargo run --release -p bench --bin overlap -- --out BENCH_overlap.json
+test -s BENCH_overlap.json
+
 echo "verify: all checks passed"

@@ -1,0 +1,253 @@
+//! The nonblocking op path end to end: posted message state machines,
+//! completion-queue semantics, cancellation, and failure under quarantine.
+//!
+//! Every test runs over BIP (Myrinet), whose credit-gated short TM and
+//! rendezvous long TM exercise all three parked op states.
+
+use bytes::Bytes;
+use mad_mpi::Mpi;
+use madeleine::{Config, Madeleine, MadError, OpState, Protocol, RecvMode, SendMode};
+use madsim_net::{NetKind, WorldBuilder};
+use std::sync::Arc;
+
+fn bip_world(nodes: usize) -> (madsim_net::World, Config) {
+    let mut b = WorldBuilder::new(nodes);
+    let members: Vec<usize> = (0..nodes).collect();
+    b.network("myr0", NetKind::Myrinet, &members);
+    (b.build(), Config::one("net", "myr0", Protocol::Bip))
+}
+
+/// Interleaved sends to two peers: a short message posted *after* a
+/// rendezvous retires *before* it, so the completion queue orders by
+/// completion, not posting — and the blocked rendezvous drains later
+/// through a progress-driven queue pop.
+#[test]
+fn completion_queue_orders_by_completion_not_posting() {
+    const LEN: usize = 64 * 1024;
+    let (world, config) = bip_world(3);
+    world.run(move |env| {
+        let mad = Madeleine::init(&env, &config);
+        let ch = mad.channel("net");
+        if env.id() == 0 {
+            let long: Vec<u8> = (0..LEN).map(|i| (i % 255) as u8).collect();
+            let a = ch.post_message(
+                1,
+                vec![(
+                    Bytes::copy_from_slice(&long),
+                    SendMode::Cheaper,
+                    RecvMode::Cheaper,
+                )],
+            );
+            let b = ch.post_message(
+                2,
+                vec![(
+                    Bytes::from_static(b"tiny"),
+                    SendMode::Cheaper,
+                    RecvMode::Cheaper,
+                )],
+            );
+            // Node 1 is parked at the barrier, so its CTS cannot have
+            // arrived: the long op must be parked, the short one retired.
+            assert_eq!(ch.engine().state(a), Some(OpState::RendezvousWait));
+            let first = ch
+                .completions()
+                .try_pop()
+                .expect("short op retires at post time");
+            assert_eq!(first.id, b, "short message must complete first");
+            assert_eq!(first.peer, 2);
+            assert!(first.result.is_ok());
+            assert!(ch.completions().is_empty());
+            env.barrier();
+            // Drain the rendezvous through the queue, ticking the engine.
+            let second = loop {
+                ch.progress();
+                if let Some(c) = ch.completions().try_pop() {
+                    break c;
+                }
+                std::thread::yield_now();
+            };
+            assert_eq!(second.id, a);
+            assert_eq!(second.peer, 1);
+            assert!(second.result.is_ok());
+            assert_eq!(ch.engine().in_flight(), 0);
+        } else {
+            env.barrier();
+            let mut buf = vec![0u8; if env.id() == 1 { LEN } else { 4 }];
+            let mut msg = ch.begin_unpacking();
+            msg.unpack(&mut buf, SendMode::Cheaper, RecvMode::Cheaper);
+            msg.end_unpacking();
+            if env.id() == 1 {
+                assert!(buf.iter().enumerate().all(|(i, &x)| x == (i % 255) as u8));
+            } else {
+                assert_eq!(&buf, b"tiny");
+            }
+        }
+    });
+}
+
+/// `MPI_Isend` of a rendezvous-sized message genuinely returns before the
+/// transfer can complete; `test` reports false across the rendezvous
+/// boundary and flips to true once the receiver posts.
+#[test]
+fn mpi_isend_test_false_then_true_across_rendezvous() {
+    const LEN: usize = 64 * 1024;
+    let (world, config) = bip_world(2);
+    world.run(move |env| {
+        let mad = Madeleine::init(&env, &config);
+        let ch = Arc::clone(mad.channel("net"));
+        let mpi = Mpi::init(&mad, "net");
+        if mpi.rank() == 0 {
+            let data: Vec<u8> = (0..LEN).map(|i| (i * 7 % 251) as u8).collect();
+            let mut req = mpi.isend(1, 42, &data);
+            // ≥ 1 kB over BIP needs the receiver's CTS, and the receiver
+            // is parked at the barrier: isend must have returned with the
+            // transfer still in flight.
+            assert_eq!(ch.engine().in_flight(), 1);
+            assert!(
+                mpi.test(&mut req).is_none(),
+                "rendezvous send completed with no receiver posted"
+            );
+            env.barrier();
+            let st = loop {
+                if let Some(st) = mpi.test(&mut req) {
+                    break st;
+                }
+                std::thread::yield_now();
+            };
+            assert_eq!((st.source, st.tag, st.len), (1, 42, LEN));
+            assert_eq!(ch.engine().in_flight(), 0, "transfer finished inside test");
+        } else {
+            env.barrier();
+            let mut buf = vec![0u8; LEN];
+            let st = mpi.recv(Some(0), Some(42), &mut buf);
+            assert_eq!(st.len, LEN);
+            assert!(buf
+                .iter()
+                .enumerate()
+                .all(|(i, &x)| x == (i * 7 % 251) as u8));
+        }
+        mpi.barrier();
+    });
+}
+
+/// An op queued behind a parked rendezvous has shipped nothing, so it can
+/// be cancelled — and because the header sequence number is claimed at
+/// ship time, the cancel leaves no gap in the peer's sequence space.
+#[test]
+fn cancel_of_unstarted_op_leaves_stream_intact() {
+    const LEN: usize = 32 * 1024;
+    let (world, config) = bip_world(2);
+    world.run(move |env| {
+        let mad = Madeleine::init(&env, &config);
+        let ch = mad.channel("net");
+        if env.id() == 0 {
+            let a = ch.post_message(
+                1,
+                vec![(
+                    Bytes::from(vec![9u8; LEN]),
+                    SendMode::Cheaper,
+                    RecvMode::Cheaper,
+                )],
+            );
+            let b = ch.post_message(
+                1,
+                vec![(
+                    Bytes::from_static(b"never"),
+                    SendMode::Cheaper,
+                    RecvMode::Cheaper,
+                )],
+            );
+            assert_eq!(ch.engine().state(b), Some(OpState::Posted));
+            assert!(ch.cancel_op(b), "unstarted op must be cancellable");
+            assert_eq!(ch.engine().state(b), None, "cancelled op is forgotten");
+            assert!(
+                !ch.cancel_op(a),
+                "an op whose header shipped must be uncancellable"
+            );
+            env.barrier();
+            ch.wait_op(a).expect("rendezvous completes once peer posts");
+            // No sequence hole: a blocking message to the same peer flows.
+            let mut msg = ch.begin_packing(1);
+            msg.pack(b"after", SendMode::Cheaper, RecvMode::Express);
+            msg.end_packing();
+        } else {
+            env.barrier();
+            let mut buf = vec![0u8; LEN];
+            let mut msg = ch.begin_unpacking();
+            msg.unpack(&mut buf, SendMode::Cheaper, RecvMode::Cheaper);
+            msg.end_unpacking();
+            assert!(buf.iter().all(|&x| x == 9));
+            let mut tail = [0u8; 5];
+            let mut msg = ch.begin_unpacking();
+            msg.unpack_express(&mut tail, SendMode::Cheaper);
+            msg.end_unpacking();
+            assert_eq!(&tail, b"after");
+        }
+    });
+}
+
+/// Dropping a posted-but-unmatched nonblocking receive must neither hang
+/// nor panic, and must not disturb later traffic.
+#[test]
+fn dropping_unmatched_irecv_is_harmless() {
+    let (world, config) = bip_world(2);
+    world.run(move |env| {
+        let mad = Madeleine::init(&env, &config);
+        let mpi = Mpi::init(&mad, "net");
+        if mpi.rank() == 0 {
+            let mut buf = [0u8; 16];
+            let mut req = mpi.irecv(Some(1), Some(99), &mut buf);
+            assert!(mpi.test(&mut req).is_none(), "nobody sent tag 99");
+            drop(req);
+            mpi.send(1, 7, b"ping");
+            let mut back = [0u8; 4];
+            let st = mpi.recv(Some(1), Some(7), &mut back);
+            assert_eq!((st.len, &back), (4, b"pong"));
+        } else {
+            let mut buf = [0u8; 4];
+            mpi.recv(Some(0), Some(7), &mut buf);
+            assert_eq!(&buf, b"ping");
+            mpi.send(0, 7, b"pong");
+        }
+    });
+}
+
+/// Chaos: every rail quarantined mid-op. Both the parked rendezvous and
+/// the op queued behind it must fail with `ChannelDown` — promptly, not by
+/// hanging until a fault timeout.
+#[test]
+fn quarantined_rails_fail_in_flight_ops_with_channel_down() {
+    const LEN: usize = 16 * 1024;
+    let (world, config) = bip_world(2);
+    world.run(move |env| {
+        let mad = Madeleine::init(&env, &config);
+        let ch = mad.channel("net");
+        if env.id() == 0 {
+            let a = ch.post_message(
+                1,
+                vec![(
+                    Bytes::from(vec![1u8; LEN]),
+                    SendMode::Cheaper,
+                    RecvMode::Cheaper,
+                )],
+            );
+            let b = ch.post_message(
+                1,
+                vec![(
+                    Bytes::from_static(b"queued"),
+                    SendMode::Cheaper,
+                    RecvMode::Cheaper,
+                )],
+            );
+            assert_eq!(ch.engine().state(a), Some(OpState::RendezvousWait));
+            // The channel's only rail dies under the in-flight ops.
+            ch.quarantine_rail(0);
+            let ea = ch.wait_op(a).expect_err("op on a dead rail must fail");
+            assert!(matches!(ea, MadError::ChannelDown), "got {ea:?}");
+            let eb = ch.wait_op(b).expect_err("queued op must fail too");
+            assert!(matches!(eb, MadError::ChannelDown), "got {eb:?}");
+            assert_eq!(ch.engine().in_flight(), 0);
+        }
+        env.barrier();
+    });
+}
