@@ -22,6 +22,14 @@
 //! [ kind u8 | pad [u8;3] | service u32 | req_id u64 | len u32 ] [ payload ]
 //! ```
 
+//! On channels configured with wire-level batching
+//! (`ChannelSpec::with_batching`) the PM2 envelope still travels
+//! `(CHEAPER, EXPRESS)`: an EXPRESS append closes the coalescing frame,
+//! so every call's envelope reaches the peer without waiting out a flush
+//! deadline — request latency is unchanged, while small argument payloads
+//! ride in the same frame as their envelope. [`Pm2::flush`] exposes the
+//! channel-level flush for callers that also post raw CHEAPER traffic.
+
 use bytes::Bytes;
 use madeleine::error::{MadError, MadResult};
 use madeleine::{Channel, RecvMode, SendMode};
@@ -168,6 +176,17 @@ impl Pm2 {
             Ok(was_request) => was_request,
             Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Push any wire-level batch the underlying channel is still
+    /// coalescing onto the fabric (see [`Channel::flush`]).
+    ///
+    /// PM2's own messages never need this — the EXPRESS envelope closes
+    /// the batch frame at call time — but a runtime that mixes LRPC with
+    /// raw batched CHEAPER traffic on the same channel can use it as a
+    /// send-side barrier before blocking in [`serve`](Self::serve).
+    pub fn flush(&self) -> MadResult<()> {
+        self.chan.flush()
     }
 
     fn emit(&self, dst: NodeId, kind: u8, service: u32, req_id: u64, payload: &[u8]) {

@@ -159,7 +159,10 @@ impl<'a> SendBmm<'a> {
         }
     }
 
-    /// Queue a library-owned block (e.g. a block that arrived as `Bytes`).
+    /// Queue a block the library already owns: posted nonblocking ops
+    /// capture their payloads as `Bytes` at post time and replay them
+    /// through here when the progress engine drives the op's frames on
+    /// its rail's TM stack.
     pub fn pack_owned(&mut self, data: Bytes) -> MadResult<()> {
         self.pack_now(Block::Owned(data))
     }
@@ -176,7 +179,12 @@ impl<'a> SendBmm<'a> {
     }
 
     /// `send_SAFER` capture through a short-lived borrow: the data never
-    /// outlives this call (copied, staged, or transmitted synchronously).
+    /// outlives this call. Depending on the policy it is copied into pool
+    /// memory, staged into this rail's static buffers, or transmitted
+    /// immediately on this BMM's TM. Blocks eligible for wire-level
+    /// coalescing are diverted to the batch layer before a BMM ever sees
+    /// them, so a SAFER block arriving here always travels as its own
+    /// frame on its own rail.
     pub fn pack_safer_now(&mut self, data: &[u8]) -> MadResult<()> {
         let capture_by_processing = match self.policy {
             SendPolicy::StaticCopy | SendPolicy::Eager => !self.pending_has_later,

@@ -43,6 +43,7 @@
 //! travels on the home rail, which is how the receiver learns which rail
 //! carries the rest of the message's un-striped blocks.
 
+use crate::batch::{self, BatchCtx, BatchItem, FlushReason};
 use crate::bmm::{RecvBmm, SendBmm};
 use crate::config::HostModel;
 use crate::connection::Connections;
@@ -67,6 +68,18 @@ use std::sync::Arc;
 const HEADER_MAGIC: u32 = 0x4D41_4432; // "MAD2"
 /// Size of the internal message header.
 pub const HEADER_LEN: usize = 16;
+
+/// Build the 16-byte internal message header (magic, source node,
+/// per-connection sequence number, zeroed reserved tail). Shared by the
+/// blocking path, the posted-op path, and the batch layer's deferred
+/// headers, so all three emit identical wire bytes.
+pub(crate) fn encode_header(me: NodeId, seq: u32) -> [u8; HEADER_LEN] {
+    let mut hdr = [0u8; HEADER_LEN];
+    hdr[0..4].copy_from_slice(&HEADER_MAGIC.to_le_bytes());
+    hdr[4..8].copy_from_slice(&(me as u32).to_le_bytes());
+    hdr[8..12].copy_from_slice(&seq.to_le_bytes());
+    hdr
+}
 
 /// A closed world for communication (paper §2.1): a set of point-to-point
 /// connections over one network interface and `1..N` adapters (rails).
@@ -314,6 +327,129 @@ impl Channel {
         }
     }
 
+    /// The batch layer's borrowed view of this channel for one
+    /// append/flush/receive on the connection toward/from `peer`.
+    fn batch_ctx(&self, peer: NodeId, rail: usize) -> BatchCtx<'_> {
+        BatchCtx {
+            conn: self.conns.get(peer).expect("membership checked"),
+            rail: &self.rails[rail],
+            stats: &self.stats,
+            tracer: &self.tracer,
+            host: &self.host,
+            me: self.me,
+            policy: &self.sched.batch,
+        }
+    }
+
+    /// Does a block of `len`/`smode` ride inside a batch frame on `rail`?
+    /// Pure and symmetric — the receiver evaluates it with the mirrored
+    /// arguments and must agree (the stripe check runs before this one on
+    /// both sides).
+    fn batchable(&self, len: usize, smode: SendMode, rail: usize) -> bool {
+        self.sched.batch.enabled()
+            && batch::batchable(
+                &self.sched.batch,
+                len,
+                smode,
+                self.batch_ctx_cap(rail),
+            )
+    }
+
+    /// The batch TM's frame budget on `rail`.
+    fn batch_ctx_cap(&self, rail: usize) -> usize {
+        let pmm = self.rails[rail].pmm();
+        let tm = pmm.select(HEADER_LEN, SendMode::Cheaper, RecvMode::Express);
+        pmm.tm(tm).caps().buffer_cap
+    }
+
+    /// Home rail of the connection toward `peer` (0 on single-rail
+    /// channels).
+    fn home_rail_of(&self, conn_index: usize) -> usize {
+        if self.rails.len() > 1 {
+            self.sched.home_rail(conn_index, &self.rails)
+        } else {
+            0
+        }
+    }
+
+    /// Flush the open send batch toward `peer`, if any (no-op with
+    /// batching disabled).
+    fn flush_conn_batch(&self, peer: NodeId, rail: usize, reason: FlushReason) -> MadResult<()> {
+        if !self.sched.batch.enabled() {
+            return Ok(());
+        }
+        batch::flush(&self.batch_ctx(peer, rail), reason)
+    }
+
+    /// Close every connection's open send batch and put its frame on the
+    /// wire (an Explicit flush; see [`crate::batch`]). Small packets and
+    /// whole posted messages can otherwise linger until a size threshold
+    /// or a progress-tick deadline ships them — call this at the end of a
+    /// burst when the peer needs the data *now*. A no-op (and always `Ok`)
+    /// when batching is disabled.
+    pub fn flush(&self) -> MadResult<()> {
+        if !self.sched.batch.enabled() {
+            return Ok(());
+        }
+        let mut result = Ok(());
+        for &p in &self.peers {
+            if p == self.me {
+                continue;
+            }
+            let conn = self.conns.get(p).expect("member list");
+            let rail = self.home_rail_of(conn.index());
+            // Flush every peer even if one fails: its error is recorded
+            // (first failure wins) and its batch is poisoned.
+            let r = batch::flush(&self.batch_ctx(p, rail), FlushReason::Explicit);
+            if result.is_ok() {
+                result = r;
+            }
+        }
+        result
+    }
+
+    /// Flush every send batch that a progress tick finds past its
+    /// deadline. Flush errors poison the affected batch, which the parked
+    /// ops surface when they next advance.
+    fn flush_due_batches(&self) {
+        if !self.sched.batch.enabled() {
+            return;
+        }
+        let now = time::now();
+        for &p in &self.peers {
+            if p == self.me {
+                continue;
+            }
+            let conn = self.conns.get(p).expect("member list");
+            if !conn.send_batch().lock().deadline_due(now) {
+                continue;
+            }
+            let rail = self.home_rail_of(conn.index());
+            let _ = batch::flush(&self.batch_ctx(p, rail), FlushReason::Deadline);
+        }
+    }
+
+    /// The peer (and arrival rail) of already split-out batched packets
+    /// awaiting delivery, if any — checked before blocking on the wire:
+    /// one arrived frame can span several messages, so the next message
+    /// may be entirely in memory with nothing left on the fabric. Peers
+    /// are scanned in member order for determinism.
+    fn queued_batch_source(&self) -> Option<(NodeId, usize)> {
+        if !self.sched.batch.enabled() {
+            return None;
+        }
+        for &p in &self.peers {
+            if p == self.me {
+                continue;
+            }
+            let rb = self.conns.get(p).expect("member list").recv_batch().lock();
+            if rb.has_queued() {
+                return Some((p, rb.rail()));
+            }
+        }
+        None
+    }
+
     /// Initiate a new outgoing message to `dst` (paper: `mad_begin_packing`).
     ///
     /// # Panics
@@ -354,17 +490,23 @@ impl Channel {
         );
         time::advance(VDuration::from_micros_f64(self.host.begin_op_us));
         let conn = self.conns.get(dst).expect("membership asserted above");
+        let multirail = self.rails.len() > 1;
+        let rail = self.home_rail_of(conn.index());
         // Ordering fence: nonblocking ops already posted toward this peer
         // must hit the wire before a blocking message claims the next
         // sequence number, or the peer would see the stream out of order.
-        self.engine.drain_conn(conn);
+        // Ops parked in `Batched` retire only when their frame ships, so
+        // the fence flushes the connection's open batch up front and
+        // between ticks (a flush error poisons the batch and fails the
+        // parked ops, which terminates the drain).
+        if let Err(e) = self.flush_conn_batch(dst, rail, FlushReason::Explicit) {
+            self.open_tx.fetch_sub(1, Ordering::AcqRel);
+            return Err(e);
+        }
+        self.engine.drain_conn(conn, || {
+            let _ = self.flush_conn_batch(dst, rail, FlushReason::Explicit);
+        });
         let seq = conn.next_send_seq();
-        let multirail = self.rails.len() > 1;
-        let rail = if multirail {
-            self.sched.home_rail(conn.index(), &self.rails)
-        } else {
-            0
-        };
         self.tracer.record(TraceEvent::BeginPacking { dst });
         if multirail {
             self.tracer.record(TraceEvent::RailSelect { dst, rail });
@@ -390,13 +532,10 @@ impl Channel {
             // slab per send.
             let mut header = self.pool.checkout(HEADER_LEN);
             {
+                // The whole header goes on the wire and recycled slabs
+                // carry stale bytes, so the reserved tail is written too.
                 let h = header.spare_mut();
-                h[0..4].copy_from_slice(&HEADER_MAGIC.to_le_bytes());
-                h[4..8].copy_from_slice(&(self.me as u32).to_le_bytes());
-                h[8..12].copy_from_slice(&seq.to_le_bytes());
-                // Reserved tail: recycled slabs carry stale bytes, and the
-                // whole header goes on the wire.
-                h[12..HEADER_LEN].fill(0);
+                h[..HEADER_LEN].copy_from_slice(&encode_header(self.me, seq));
             }
             header.advance(HEADER_LEN);
             let e = match msg.pack_internal(header) {
@@ -429,6 +568,11 @@ impl Channel {
     /// guarantees the next [`begin_unpacking`](Self::begin_unpacking) will
     /// not block waiting for an announcement.)
     pub fn has_incoming(&self) -> bool {
+        // Split-out batched packets count: one arrived frame can span
+        // several messages, so the next message may already be in memory.
+        if self.queued_batch_source().is_some() {
+            return true;
+        }
         let live = self.live_mask.load(Ordering::Acquire);
         self.rails
             .iter()
@@ -475,10 +619,21 @@ impl Channel {
             self.name
         );
         time::advance(VDuration::from_micros_f64(self.host.begin_op_us));
+        // Our own open send batches flush before we block on the fabric:
+        // a batched request still sitting in its batch while we wait for
+        // the response is a self-inflicted deadlock. Errors poison the
+        // affected batch and surface on the send side.
+        if self.sched.batch.enabled() {
+            let _ = self.flush();
+        }
         // The announcing header rides the sender's home rail, which makes
         // the rail that announced the message the rail that carries its
-        // un-striped blocks — no negotiation needed.
-        let (src, rail) = if self.rails.len() == 1 {
+        // un-striped blocks — no negotiation needed. Already split-out
+        // batched packets win over the fabric: a frame that spanned
+        // several messages announced them all at once.
+        let (src, rail) = if let Some(queued) = self.queued_batch_source() {
+            queued
+        } else if self.rails.len() == 1 {
             (self.rails[0].pmm().wait_incoming(), 0)
         } else {
             self.wait_incoming_multirail()
@@ -618,7 +773,11 @@ impl Channel {
         // (first op step), not here — cancelling a never-started op must
         // not leave a gap in the connection's sequence space.
         let mut frames = VecDeque::with_capacity(blocks.len() + 1);
-        frames.push_back(FrameStep::Header);
+        if self.batchable(HEADER_LEN, SendMode::Cheaper, rail) {
+            frames.push_back(FrameStep::BatchHeader);
+        } else {
+            frames.push_back(FrameStep::Header);
+        }
         for (data, smode, rmode) in blocks {
             // Host-side descriptor cost, charged at posting like the
             // blocking path charges per pack.
@@ -628,6 +787,11 @@ impl Channel {
                 .should_stripe(data.len(), smode, rmode, self.rails.len())
             {
                 frames.push_back(FrameStep::Stripe { data });
+            } else if self.batchable(data.len(), smode, rail) {
+                frames.push_back(FrameStep::Batch {
+                    data,
+                    express: rmode == RecvMode::Express,
+                });
             } else {
                 frames.push_back(FrameStep::Tm { data, smode, rmode });
             }
@@ -642,12 +806,15 @@ impl Channel {
             stats: Arc::clone(&self.stats),
             tracer: Arc::clone(&self.tracer),
             me: self.me,
+            host: self.host,
             ack_base: self.ack_base,
             frames,
             pending: None,
             started: false,
             done_at: VTime::ZERO,
             stripe_announced: false,
+            first_ticket: None,
+            last_ticket: None,
         };
         let id = self.engine.post(conn, Box::new(op));
         // Opportunistic first tick: a message whose frames need no peer
@@ -657,8 +824,10 @@ impl Channel {
     }
 
     /// One progress-engine tick: advance the head op of every peer's
-    /// in-flight list as far as it can go. Returns how many ops retired.
+    /// in-flight list as far as it can go, after flushing any send batch
+    /// that sat open past its deadline. Returns how many ops retired.
     pub fn progress(&self) -> usize {
+        self.flush_due_batches();
         self.engine.progress(&self.conns)
     }
 
@@ -666,7 +835,7 @@ impl Channel {
     /// op's result if it retired. On success the caller's clock is
     /// synchronized with the op's local completion instant.
     pub fn test_op(&self, id: OpId) -> Option<MadResult<VTime>> {
-        self.engine.progress(&self.conns);
+        self.progress();
         let r = self.engine.take_result(id)?;
         if let Ok(at) = r {
             time::advance_to(at);
@@ -677,8 +846,17 @@ impl Channel {
     /// Block until op `id` retires, driving the engine through the
     /// channel's [`PollPolicy`] (an interrupt-path wait charges its wakeup
     /// latency here, after synchronizing with the completion instant).
+    ///
+    /// A blocking wait is an explicit "I need it done": every open send
+    /// batch is force-flushed while driving, so an op parked in
+    /// [`OpState::Batched`] cannot stall the wait on a deadline that
+    /// virtual time may never reach (flush errors surface through the
+    /// failed op itself).
     pub fn wait_op(&self, id: OpId) -> MadResult<VTime> {
         let r = self.poll.drive(|| {
+            if self.sched.batch.enabled() {
+                let _ = self.flush();
+            }
             self.engine.progress(&self.conns);
             self.engine.take_result(id)
         });
@@ -723,12 +901,19 @@ enum FrameStep {
     /// The 16-byte library header; claims the connection's next sequence
     /// number at ship time.
     Header,
+    /// The library header riding inside a batch frame; its sequence
+    /// number is claimed only when the batch flushes, so a cancelled op
+    /// leaves no gap in the connection's sequence space.
+    BatchHeader,
     /// A block routed through the home rail's PMM-selected TM.
     Tm {
         data: Bytes,
         smode: SendMode,
         rmode: RecvMode,
     },
+    /// A small block riding inside a batch frame (zero-copy until the
+    /// frame is assembled).
+    Batch { data: Bytes, express: bool },
     /// A multirail striped bulk block.
     Stripe { data: Bytes },
 }
@@ -758,6 +943,7 @@ struct MessageSendOp {
     stats: Arc<Stats>,
     tracer: Arc<Tracer>,
     me: NodeId,
+    host: HostModel,
     ack_base: u64,
     frames: VecDeque<FrameStep>,
     pending: Option<PendingFrame>,
@@ -767,6 +953,12 @@ struct MessageSendOp {
     /// before the (virtual-time-atomic) stripe executes, so observers see
     /// the state.
     stripe_announced: bool,
+    /// Batch tickets of this op's first and last batched packets: the op
+    /// parks in [`OpState::Batched`] until a flush covers the last one,
+    /// counts as started once a flush covers the first, and cancels by
+    /// removing the whole range from the pending batch.
+    first_ticket: Option<u64>,
+    last_ticket: Option<u64>,
 }
 
 impl MessageSendOp {
@@ -775,6 +967,35 @@ impl MessageSendOp {
             PendingKind::Credit => OpState::CreditWait,
             PendingKind::Rendezvous => OpState::RendezvousWait,
         }
+    }
+
+    fn batch_ctx(&self) -> BatchCtx<'_> {
+        BatchCtx {
+            conn: self.conns.get(self.dst).expect("membership checked"),
+            rail: &self.rails[self.rail],
+            stats: &self.stats,
+            tracer: &self.tracer,
+            host: &self.host,
+            me: self.me,
+            policy: &self.sched.batch,
+        }
+    }
+
+    fn note_ticket(&mut self, t: u64) {
+        if self.first_ticket.is_none() {
+            self.first_ticket = Some(t);
+        }
+        self.last_ticket = Some(t);
+    }
+
+    /// Flush the connection's batch before a frame that must not overtake
+    /// the batched packets already staged (a no-op when batching is off
+    /// or nothing is pending).
+    fn flush_batch_barrier(&self) -> MadResult<()> {
+        if !self.sched.batch.enabled() {
+            return Ok(());
+        }
+        batch::flush(&self.batch_ctx(), FlushReason::Explicit)
     }
 }
 
@@ -820,6 +1041,15 @@ impl OpStep for MessageSendOp {
             }
         }
         while let Some(frame) = self.frames.pop_front() {
+            // Frames that bypass the batch layer (big blocks, striped
+            // blocks, a non-batchable header) must not overtake packets
+            // already staged in the connection's batch: close its frame
+            // first.
+            if !matches!(frame, FrameStep::BatchHeader | FrameStep::Batch { .. }) {
+                if let Err(e) = self.flush_batch_barrier() {
+                    return StepOutcome::Failed(e);
+                }
+            }
             let (data, smode, rmode) = match frame {
                 FrameStep::Header => {
                     // The point of no return: the sequence number is
@@ -827,15 +1057,27 @@ impl OpStep for MessageSendOp {
                     // state (cancel is refused once `started`).
                     let conn = self.conns.get(self.dst).expect("membership checked");
                     let seq = conn.next_send_seq();
-                    let mut hdr = [0u8; HEADER_LEN];
-                    hdr[0..4].copy_from_slice(&HEADER_MAGIC.to_le_bytes());
-                    hdr[4..8].copy_from_slice(&(self.me as u32).to_le_bytes());
-                    hdr[8..12].copy_from_slice(&seq.to_le_bytes());
                     (
-                        Bytes::copy_from_slice(&hdr),
+                        Bytes::copy_from_slice(&encode_header(self.me, seq)),
                         SendMode::Cheaper,
                         RecvMode::Express,
                     )
+                }
+                FrameStep::BatchHeader => {
+                    let r = batch::append(&self.batch_ctx(), BatchItem::DeferredHeader, false, true);
+                    match r {
+                        Ok(t) => self.note_ticket(t),
+                        Err(e) => return StepOutcome::Failed(e),
+                    }
+                    continue;
+                }
+                FrameStep::Batch { data, express } => {
+                    let r = batch::append(&self.batch_ctx(), BatchItem::Owned(data), express, false);
+                    match r {
+                        Ok(t) => self.note_ticket(t),
+                        Err(e) => return StepOutcome::Failed(e),
+                    }
+                    continue;
                 }
                 FrameStep::Tm { data, smode, rmode } => (data, smode, rmode),
                 FrameStep::Stripe { data } => {
@@ -884,12 +1126,37 @@ impl OpStep for MessageSendOp {
                 Err(e) => return StepOutcome::Failed(e),
             }
         }
+        // Every frame is emitted, but batched packets only count as sent
+        // once a flush covers them; until then the op parks in `Batched`
+        // (and a later op may append behind it — see the progress
+        // engine's walk rule).
+        if let Some(last) = self.last_ticket {
+            let conn = self.conns.get(self.dst).expect("membership checked");
+            let b = conn.send_batch().lock();
+            if !b.ticket_flushed(last) {
+                if let Some(e) = b.poison() {
+                    return StepOutcome::Failed(e);
+                }
+                return StepOutcome::Pending(OpState::Batched);
+            }
+            self.done_at = self.done_at.max(b.last_flush_at());
+        }
         self.stats.record_message();
         StepOutcome::Done(self.done_at.max(time::now()))
     }
 
     fn started(&self) -> bool {
+        // A batched op has irrevocably reached the wire once any flush
+        // covered its first packet.
         self.started
+            || self.first_ticket.is_some_and(|t| {
+                self.conns
+                    .get(self.dst)
+                    .expect("membership checked")
+                    .send_batch()
+                    .lock()
+                    .ticket_flushed(t)
+            })
     }
 
     fn on_cancel(&mut self) {
@@ -898,6 +1165,17 @@ impl OpStep for MessageSendOp {
             p.cont.cancel();
         }
         self.frames.clear();
+        // Pull the op's never-flushed packets back out of the batch; the
+        // deferred header claimed no sequence number yet, so the peer
+        // sees no gap.
+        if let (Some(first), Some(last)) = (self.first_ticket, self.last_ticket) {
+            self.conns
+                .get(self.dst)
+                .expect("membership checked")
+                .send_batch()
+                .lock()
+                .cancel_tickets(first, last);
+        }
     }
 }
 
@@ -974,9 +1252,18 @@ impl<'c, 'a> OutgoingMessage<'c, 'a> {
                 .conns
                 .get(self.dst)
                 .expect("membership checked at begin");
+            // The striped block must not overtake small packets staged in
+            // the connection's batch either.
+            chan.flush_conn_batch(self.dst, self.rail, FlushReason::Explicit)?;
             let ctx = chan.stripe_ctx(chan.me, conn.next_tx_stripe_block());
             return rail::stripe_send(&ctx, self.dst, data);
         }
+        if chan.batchable(data.len(), smode, self.rail) {
+            return self.pack_batched(data, smode, rmode == RecvMode::Express);
+        }
+        // A non-batchable block is an ordering barrier for the batch, the
+        // same way a TM switch is for the open BMM.
+        chan.flush_conn_batch(self.dst, self.rail, FlushReason::Explicit)?;
         let pmm = chan.rails[self.rail].pmm();
         let tm = pmm.select(data.len(), smode, rmode);
         self.switch_to(tm)?;
@@ -994,6 +1281,28 @@ impl<'c, 'a> OutgoingMessage<'c, 'a> {
         if rmode == RecvMode::Express && smode != SendMode::Later {
             bmm.flush()?;
         }
+        Ok(())
+    }
+
+    /// Stage one small block in the connection's send batch (blocking
+    /// path). The caller's borrow ends with this call, so the bytes are
+    /// captured into pooled memory now — `send_LATER` blocks therefore
+    /// never come here ([`batchable`](Channel::batchable) excludes them).
+    fn pack_batched(&mut self, data: &[u8], smode: SendMode, express: bool) -> MadResult<()> {
+        let chan = self.chan;
+        // Commit the open BMM first so the batched packet takes its place
+        // in the per-connection order (the receiver mirrors this with a
+        // checkout before reading from its split-frame queue).
+        if let Some(mut old) = self.bmm.take() {
+            old.flush()?;
+        }
+        self.cur_tm = None;
+        debug_assert!(smode != SendMode::Later, "LATER blocks never batch");
+        let buf = chan.rails[self.rail].pool().checkout_from(data);
+        time::advance(chan.host.memcpy(data.len()));
+        chan.stats.record_copy(data.len());
+        let ctx = chan.batch_ctx(self.dst, self.rail);
+        batch::append(&ctx, BatchItem::Pooled(buf, data.len()), express, false)?;
         Ok(())
     }
 
@@ -1023,6 +1332,13 @@ impl<'c, 'a> OutgoingMessage<'c, 'a> {
             "pack after end_packing (or after a failed pack)"
         );
         time::advance(VDuration::from_micros_f64(self.chan.host.pack_op_us));
+        if self.chan.batchable(data.len(), SendMode::Safer, self.rail) {
+            // SAFER wants the data captured during the call — exactly what
+            // the batch append does.
+            return self.pack_batched(data, SendMode::Safer, rmode == RecvMode::Express);
+        }
+        self.chan
+            .flush_conn_batch(self.dst, self.rail, FlushReason::Explicit)?;
         let pmm = self.chan.rails[self.rail].pmm();
         self.switch_to(pmm.select(data.len(), SendMode::Safer, rmode))?;
         let bmm = self.bmm.as_mut().expect("switched");
@@ -1035,7 +1351,19 @@ impl<'c, 'a> OutgoingMessage<'c, 'a> {
 
     /// Pack a library-internal block (always `(CHEAPER, EXPRESS)`).
     fn pack_internal(&mut self, data: PooledBuf) -> MadResult<()> {
-        let pmm = self.chan.rails[self.rail].pmm();
+        let chan = self.chan;
+        if chan.batchable(data.len(), SendMode::Cheaper, self.rail) {
+            // The message header opens the message, so no BMM can be open
+            // yet; it joins the batch *without* an express flush — the
+            // header alone announces nothing the peer can act on, and
+            // holding it is what lets whole small messages coalesce.
+            debug_assert!(self.bmm.is_none(), "header packed mid-message");
+            let len = data.len();
+            let ctx = chan.batch_ctx(self.dst, self.rail);
+            batch::append(&ctx, BatchItem::Pooled(data, len), false, true)?;
+            return Ok(());
+        }
+        let pmm = chan.rails[self.rail].pmm();
         self.switch_to(pmm.select(data.len(), SendMode::Cheaper, RecvMode::Express))?;
         let bmm = self.bmm.as_mut().expect("switched");
         bmm.pack_pooled(data)?;
@@ -1077,6 +1405,15 @@ impl<'c, 'a> OutgoingMessage<'c, 'a> {
             self.done = true;
             self.bmm = None;
             self.cur_tm = None;
+            // Drop this message's never-flushed batched packets too: no
+            // envelope sequence number was assigned yet, so the peer's
+            // continuity check is unaffected. (Posted ops cannot have
+            // packets pending here — `begin_packing` drained them.)
+            if self.chan.sched.batch.enabled() {
+                if let Some(conn) = self.chan.conns.get(self.dst) {
+                    conn.send_batch().lock().cancel_tickets(0, u64::MAX);
+                }
+            }
             self.chan.open_tx.fetch_sub(1, Ordering::AcqRel);
         }
     }
@@ -1103,6 +1440,14 @@ impl<'c, 'a> OutgoingMessage<'c, 'a> {
         let mut result = Ok(());
         if let Some(mut bmm) = self.bmm.take() {
             result = bmm.flush();
+        }
+        // Terminal batch flush: `end_packing` promises the message is on
+        // the wire when it returns (only posted ops coalesce *across*
+        // messages).
+        if result.is_ok() {
+            result = self
+                .chan
+                .flush_conn_batch(self.dst, self.rail, FlushReason::Explicit);
         }
         time::advance(VDuration::from_micros_f64(self.chan.host.end_op_us));
         self.chan.tracer.record(TraceEvent::EndPacking);
@@ -1207,6 +1552,24 @@ impl<'c, 'a> IncomingMessage<'c, 'a> {
             let ctx = chan.stripe_ctx(self.src, conn.next_rx_stripe_block());
             return rail::stripe_recv(&ctx, self.src, dst);
         }
+        if chan.batchable(dst.len(), smode, self.rail) {
+            return self.unpack_batched(dst);
+        }
+        // Mirror of the sender's pre-barrier flush: by the time a
+        // non-batchable block is unpacked, every batched packet before it
+        // was already popped by the mirrored unpacks.
+        debug_assert!(
+            !chan.sched.batch.enabled()
+                || !chan
+                    .conns
+                    .get(self.src)
+                    .expect("membership checked at begin")
+                    .recv_batch()
+                    .lock()
+                    .has_queued(),
+            "batched packets left queued at a non-batchable unpack \
+             (asymmetric pack/unpack?)"
+        );
         let pmm = chan.rails[self.rail].pmm();
         let tm = pmm.select(dst.len(), smode, rmode);
         self.switch_to(tm)?;
@@ -1217,6 +1580,20 @@ impl<'c, 'a> IncomingMessage<'c, 'a> {
             tm,
         });
         self.bmm.as_mut().expect("switched").unpack(dst, rmode)
+    }
+
+    /// Deliver one batched packet (mirror of the sender's batch append):
+    /// check out the open BMM first — the commit/checkout discipline
+    /// spans the batch layer too — then pop the packet from the
+    /// connection's split-frame queue, pulling the next frame off the
+    /// wire if the queue is empty.
+    fn unpack_batched(&mut self, dst: &mut [u8]) -> MadResult<()> {
+        if let Some(mut old) = self.bmm.take() {
+            old.checkout()?;
+        }
+        self.cur_tm = None;
+        let ctx = self.chan.batch_ctx(self.src, self.rail);
+        batch::recv_into(&ctx, self.src, dst)
     }
 
     /// Extract one `receive_EXPRESS` block through a short-lived borrow:
@@ -1246,6 +1623,9 @@ impl<'c, 'a> IncomingMessage<'c, 'a> {
             "unpack after end_unpacking (or after a failed unpack)"
         );
         time::advance(VDuration::from_micros_f64(self.chan.host.pack_op_us));
+        if self.chan.batchable(dst.len(), smode, self.rail) {
+            return self.unpack_batched(dst);
+        }
         let pmm = self.chan.rails[self.rail].pmm();
         let tm = pmm.select(dst.len(), smode, RecvMode::Express);
         self.switch_to(tm)?;
@@ -1260,7 +1640,13 @@ impl<'c, 'a> IncomingMessage<'c, 'a> {
 
     /// Unpack a library-internal block (mirror of `pack_internal`).
     fn unpack_internal(&mut self, dst: &mut [u8]) -> MadResult<()> {
-        let pmm = self.chan.rails[self.rail].pmm();
+        let chan = self.chan;
+        if chan.batchable(dst.len(), SendMode::Cheaper, self.rail) {
+            debug_assert!(self.bmm.is_none(), "header unpacked mid-message");
+            let ctx = chan.batch_ctx(self.src, self.rail);
+            return batch::recv_into(&ctx, self.src, dst);
+        }
+        let pmm = chan.rails[self.rail].pmm();
         self.switch_to(pmm.select(dst.len(), SendMode::Cheaper, RecvMode::Express))?;
         self.bmm.as_mut().expect("switched").unpack_express_now(dst)
     }

@@ -33,6 +33,17 @@ pub const DEFAULT_STRIPE_THRESHOLD: usize = 256 * 1024;
 /// small enough that 1 MB blocks spread over four rails).
 pub const DEFAULT_STRIPE_CHUNK: usize = 128 * 1024;
 
+/// Default packet-count cap of a send batch once batching is turned on via
+/// [`ChannelSpec::with_batching`]. The default *spec* ships with
+/// `batch_packets == 1`, i.e. batching off and the classic one-frame-per-
+/// packet wire format.
+pub const DEFAULT_BATCH_PACKETS: usize = 16;
+/// Default payload-byte cap of a send batch.
+pub const DEFAULT_BATCH_BYTES: usize = 4096;
+/// Default flush deadline (virtual µs) after the first packet enters an
+/// open batch; a progress tick past the deadline closes it.
+pub const DEFAULT_BATCH_FLUSH_US: f64 = 20.0;
+
 /// Declaration of one communication channel (paper §2.1): a closed world of
 /// point-to-point connections bound to one network interface and `rails`
 /// adapters of that network.
@@ -54,6 +65,15 @@ pub struct ChannelSpec {
     pub stripe_threshold: usize,
     /// Chunk size of the stripe engine.
     pub stripe_chunk: usize,
+    /// Maximum packets coalesced into one wire frame. `1` (the default)
+    /// disables batching entirely: every packet ships as its own frame,
+    /// byte-identical to the pre-batching wire format.
+    pub batch_packets: usize,
+    /// Maximum payload bytes held in an open batch before it flushes.
+    pub batch_bytes: usize,
+    /// Flush deadline in virtual µs: a progress tick this long after the
+    /// first packet entered the batch closes it even if under-full.
+    pub batch_flush_us: f64,
 }
 
 impl ChannelSpec {
@@ -65,6 +85,9 @@ impl ChannelSpec {
             rails: 1,
             stripe_threshold: DEFAULT_STRIPE_THRESHOLD,
             stripe_chunk: DEFAULT_STRIPE_CHUNK,
+            batch_packets: 1,
+            batch_bytes: DEFAULT_BATCH_BYTES,
+            batch_flush_us: DEFAULT_BATCH_FLUSH_US,
         }
     }
 
@@ -80,6 +103,21 @@ impl ChannelSpec {
         assert!(threshold > 0 && chunk > 0, "stripe sizes must be positive");
         self.stripe_threshold = threshold;
         self.stripe_chunk = chunk;
+        self
+    }
+
+    /// Turn on adaptive wire-level batching: up to `packets` consecutive
+    /// small packets to the same peer (at most `bytes` payload bytes total)
+    /// coalesce into one multi-envelope wire frame, and a progress tick
+    /// `flush_us` virtual µs after the first packet entered the batch
+    /// closes it regardless. `packets == 1` keeps batching off.
+    pub fn with_batching(mut self, packets: usize, bytes: usize, flush_us: f64) -> Self {
+        assert!(packets >= 1, "a batch holds at least one packet");
+        assert!(bytes > 0, "batch byte cap must be positive");
+        assert!(flush_us > 0.0, "batch flush deadline must be positive");
+        self.batch_packets = packets;
+        self.batch_bytes = bytes;
+        self.batch_flush_us = flush_us;
         self
     }
 }
@@ -229,6 +267,12 @@ mod tests {
         assert_eq!(spec.rails, 3);
         assert_eq!(spec.stripe_threshold, 4096);
         assert_eq!(spec.stripe_chunk, 1024);
+        assert_eq!(spec.batch_packets, 1, "batching defaults to off");
+
+        let spec = spec.clone().with_batching(8, 2048, 10.0);
+        assert_eq!(spec.batch_packets, 8);
+        assert_eq!(spec.batch_bytes, 2048);
+        assert!((spec.batch_flush_us - 10.0).abs() < 1e-9);
 
         let c = Config::default().with_channel_spec(spec);
         assert_eq!(c.channels.len(), 1);

@@ -14,6 +14,7 @@
 //! engine a wire-free agreement on a per-block ack tag (see
 //! [`crate::rail`]).
 
+use crate::batch::{RecvBatch, SendBatch};
 use crate::progress::OpId;
 use madsim_net::NodeId;
 use parking_lot::Mutex;
@@ -42,6 +43,12 @@ pub struct Connection {
     /// never pair with the wrong long send). Empty in blocking-only
     /// programs — the fast path pays one uncontended lock per fence check.
     in_flight: Mutex<VecDeque<OpId>>,
+    /// Outgoing small packets coalescing toward the peer (batching
+    /// enabled only; stays empty and lock-cheap otherwise).
+    send_batch: Mutex<SendBatch>,
+    /// Packets split out of arrived batch frames, awaiting their
+    /// `unpack` calls.
+    recv_batch: Mutex<RecvBatch>,
 }
 
 impl Connection {
@@ -54,7 +61,19 @@ impl Connection {
             tx_stripe_blocks: AtomicU64::new(0),
             rx_stripe_blocks: AtomicU64::new(0),
             in_flight: Mutex::new(VecDeque::new()),
+            send_batch: Mutex::new(SendBatch::new()),
+            recv_batch: Mutex::new(RecvBatch::new()),
         }
+    }
+
+    /// The connection's outgoing batch (see [`crate::batch`]).
+    pub(crate) fn send_batch(&self) -> &Mutex<SendBatch> {
+        &self.send_batch
+    }
+
+    /// The connection's incoming split-frame queue.
+    pub(crate) fn recv_batch(&self) -> &Mutex<RecvBatch> {
+        &self.recv_batch
     }
 
     /// The peer this connection points at.
@@ -102,19 +121,15 @@ impl Connection {
         self.in_flight.lock().push_back(id);
     }
 
-    /// The op whose turn it is (FIFO head), if any.
-    pub(crate) fn front_in_flight(&self) -> Option<OpId> {
-        self.in_flight.lock().front().copied()
+    /// The op at position `pos` of the in-flight list (0 = FIFO head).
+    /// The progress engine walks past head ops parked in
+    /// [`OpState::Batched`](crate::progress::OpState::Batched), so it
+    /// addresses ops by position, not just the front.
+    pub(crate) fn in_flight_at(&self, pos: usize) -> Option<OpId> {
+        self.in_flight.lock().get(pos).copied()
     }
 
-    /// Retire the head op (must be `id`).
-    pub(crate) fn pop_in_flight(&self, id: OpId) {
-        let mut q = self.in_flight.lock();
-        debug_assert_eq!(q.front(), Some(&id), "ops retire in FIFO order");
-        q.retain(|&x| x != id);
-    }
-
-    /// Remove a cancelled op wherever it sits in the list.
+    /// Remove a retired or cancelled op wherever it sits in the list.
     pub(crate) fn remove_in_flight(&self, id: OpId) {
         self.in_flight.lock().retain(|&x| x != id);
     }

@@ -85,6 +85,11 @@ impl Pmm for SbpPmm {
     fn poll_incoming(&self) -> Option<NodeId> {
         self.sbp.peek_pending_src(self.tag)
     }
+
+    fn supports_batching(&self) -> bool {
+        // A batch frame occupies one kernel buffer on each side.
+        true
+    }
 }
 
 struct SbpTm {

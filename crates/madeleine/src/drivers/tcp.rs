@@ -90,6 +90,12 @@ impl Pmm for TcpPmm {
     fn poll_incoming(&self) -> Option<NodeId> {
         self.stack.peek_pending_src(self.port)
     }
+
+    fn supports_batching(&self) -> bool {
+        // The byte stream carries any frame length; batch frames ride the
+        // same ARQ segments as ordinary sends.
+        true
+    }
 }
 
 struct TcpTm {

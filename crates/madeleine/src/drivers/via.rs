@@ -152,6 +152,12 @@ impl Pmm for ViaPmm {
             .find(|(_, vi)| vi.lock().data.has_pending())
             .map(|(&peer, _)| peer)
     }
+
+    fn supports_batching(&self) -> bool {
+        // A batch frame is one descriptor's payload; the frame-size cap
+        // (buffer_cap minus envelope overhead) keeps it within VIA_BUF.
+        true
+    }
 }
 
 struct ViaTm {

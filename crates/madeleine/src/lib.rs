@@ -51,6 +51,8 @@
 //!   numbers, stripe-block counters);
 //! * [`rail`] — one adapter's worth of channel machinery, the rail
 //!   scheduler, and the multirail stripe engine;
+//! * [`batch`] — the adaptive wire-level batching layer: consecutive
+//!   small packets to one peer coalesce into multi-envelope frames;
 //! * [`bmm`] — the generic Buffer Management Layer (eager, aggregating,
 //!   and static-copy policies);
 //! * [`tm`] — the Transmission Module interface (Table 2);
@@ -64,6 +66,7 @@
 //! * [`stats`] — copy accounting backing the zero-copy claims;
 //! * [`config`], [`session`] — session setup.
 
+pub mod batch;
 pub mod bmm;
 pub mod channel;
 pub mod config;
@@ -82,6 +85,7 @@ pub mod tm;
 pub mod trace;
 pub mod typed;
 
+pub use batch::{BatchPolicy, FlushReason};
 pub use channel::{Channel, IncomingMessage, OutgoingMessage, HEADER_LEN};
 pub use config::{ChannelSpec, Config, HostModel, Protocol};
 pub use connection::{Connection, Connections};

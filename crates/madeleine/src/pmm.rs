@@ -42,4 +42,14 @@ pub trait Pmm: Send + Sync {
     fn tm(&self, id: TmId) -> Arc<dyn TransmissionModule> {
         Arc::clone(&self.tms()[id as usize])
     }
+
+    /// Can this protocol carry multi-envelope batch frames (see
+    /// [`crate::batch`])? Requires the small-packet TM to move opaque
+    /// frames of any mix of lengths — true for the stream and
+    /// static-buffer stacks, false by default so protocols with
+    /// length-coupled handshakes (BIP's short/long split, SISCI's mapped
+    /// segments) and extension channels never see a batch frame.
+    fn supports_batching(&self) -> bool {
+        false
+    }
 }

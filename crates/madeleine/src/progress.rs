@@ -17,7 +17,9 @@
 //!    │             │
 //!    │             ├─ short TM out of credits ──▶ CreditWait ──┐
 //!    │             ├─ long TM, no CTS yet ──▶ RendezvousWait ──┤
-//!    │             └─ striped block pending ──▶ StripePartial ─┤
+//!    │             ├─ striped block pending ──▶ StripePartial ─┤
+//!    │             └─ packets coalescing, frame not
+//!    │                flushed yet ──▶ Batched ─────────────────┤
 //!    │                                                         │
 //!    └──────────────── rail dies / wait expires ──▶ Failed ◀───┘
 //! ```
@@ -32,6 +34,10 @@
 //!   payload *while the host computed*, which is exactly the overlap a
 //!   real progress thread buys.
 //! * **StripePartial** — a multirail striped block is in flight.
+//! * **Batched** — every packet of the op entered the connection's send
+//!   batch, but the closing multi-envelope frame has not flushed yet; the
+//!   op retires when a flush covers its last packet. Until the first
+//!   flush nothing has reached the wire, so the op is still cancellable.
 //! * **Complete / Failed** — terminal; the op is removed from the table,
 //!   its result is recorded, and a [`Completion`] is queued.
 //!
@@ -76,6 +82,9 @@ pub enum OpState {
     RendezvousWait,
     /// A multirail striped block is partially transferred.
     StripePartial,
+    /// The op's packets sit in the connection's send batch, waiting for
+    /// the batch to flush (threshold, deadline, or explicit `flush()`).
+    Batched,
     /// Terminal: the op finished; its result is `Ok`.
     Complete,
     /// Terminal: the op finished; its result is `Err`.
@@ -253,14 +262,26 @@ impl ProgressEngine {
         id
     }
 
-    /// Advance the head op of one peer's in-flight list as far as it can
-    /// go, retiring every op that completes. Returns how many retired.
+    /// Advance one peer's in-flight list as far as it can go, retiring
+    /// every op that completes. Returns how many retired.
+    ///
+    /// The walk normally stops at the first op that parks in a wait state
+    /// (per-peer FIFO: a frame of op *k+1* must not ship before op *k* is
+    /// done emitting). A [`Batched`](OpState::Batched) park is the one
+    /// exception: such an op has *fully* staged its packets in the
+    /// connection's send batch and only awaits the closing flush, so later
+    /// ops may safely append behind it — that is what makes cross-message
+    /// coalescing work at all.
     pub(crate) fn advance_conn(&self, conn: &Connection) -> usize {
         let _serial = self.tick.lock();
         let mut retired = 0;
-        while let Some(id) = conn.front_in_flight() {
+        let mut pos = 0;
+        loop {
+            let Some(id) = conn.in_flight_at(pos) else {
+                break;
+            };
             let Some(mut slot) = self.ops.lock().remove(&id.0) else {
-                // Cancelled between the front peek and here.
+                // Cancelled between the list peek and here.
                 break;
             };
             // The step runs without the table lock held: TM pendings may
@@ -269,15 +290,19 @@ impl ProgressEngine {
                 StepOutcome::Pending(state) => {
                     slot.state = state;
                     self.ops.lock().insert(id.0, slot);
+                    if state == OpState::Batched {
+                        pos += 1;
+                        continue;
+                    }
                     break;
                 }
                 StepOutcome::Done(at) => {
-                    conn.pop_in_flight(id);
+                    conn.remove_in_flight(id);
                     self.retire(id, slot.peer, Ok(at));
                     retired += 1;
                 }
                 StepOutcome::Failed(e) => {
-                    conn.pop_in_flight(id);
+                    conn.remove_in_flight(id);
                     self.retire(id, slot.peer, Err(e));
                     retired += 1;
                 }
@@ -301,13 +326,17 @@ impl ProgressEngine {
     /// ticks) until every op addressed to `conn`'s peer has retired —
     /// the ordering fence `begin_packing` uses so a blocking send never
     /// overtakes posted ops to the same peer. On a fault-armed fabric the
-    /// ops' own bounded waits guarantee termination.
-    pub(crate) fn drain_conn(&self, conn: &Connection) {
+    /// ops' own bounded waits guarantee termination. `kick` runs between
+    /// ticks while ops remain: the channel uses it to flush the
+    /// connection's send batch, without which ops parked in
+    /// [`Batched`](OpState::Batched) would never retire.
+    pub(crate) fn drain_conn(&self, conn: &Connection, mut kick: impl FnMut()) {
         loop {
             self.advance_conn(conn);
             if conn.in_flight_is_empty() {
                 return;
             }
+            kick();
             std::thread::yield_now();
         }
     }

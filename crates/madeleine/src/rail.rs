@@ -36,6 +36,7 @@
 //! with [`MadError::ChannelDown`]. On a fault-free fabric none of this
 //! machinery arms: no acks, no timeouts, zero extra frames.
 
+use crate::batch::BatchPolicy;
 use crate::error::{MadError, MadResult};
 use crate::flags::{RecvMode, SendMode};
 use crate::pmm::Pmm;
@@ -162,6 +163,9 @@ pub struct RailScheduler {
     pub(crate) stripe_threshold: usize,
     /// Stripe chunk size.
     pub(crate) stripe_chunk: usize,
+    /// Small-packet coalescing policy (see [`crate::batch`]); off unless
+    /// the channel spec asked for batching.
+    pub(crate) batch: BatchPolicy,
 }
 
 impl RailScheduler {
@@ -171,7 +175,17 @@ impl RailScheduler {
         RailScheduler {
             stripe_threshold,
             stripe_chunk,
+            batch: BatchPolicy::off(),
         }
+    }
+
+    /// Enable small-packet batching with the given policy.
+    pub(crate) fn with_batching(mut self, batch: BatchPolicy) -> Self {
+        assert!(batch.max_packets >= 1, "batch packet count must be positive");
+        assert!(batch.max_bytes > 0, "batch byte threshold must be positive");
+        assert!(batch.flush_us > 0.0, "batch flush deadline must be positive");
+        self.batch = batch;
+        self
     }
 
     /// Should a block with these emission flags be striped? Must be a

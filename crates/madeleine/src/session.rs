@@ -1,5 +1,6 @@
 //! Session management: `Madeleine::init`.
 
+use crate::batch::BatchPolicy;
 use crate::channel::Channel;
 use crate::config::Config;
 use crate::drivers;
@@ -93,10 +94,25 @@ impl Madeleine {
                 .collect();
             let peers = adapters[0].peers().to_vec();
             let pool = rails[0].pool().clone();
+            // Wire-level batching is opt-in per spec, and only on stacks
+            // whose drivers speak the multi-envelope frame format.
+            assert!(
+                spec.batch_packets <= 1 || rails[0].pmm().supports_batching(),
+                "channel {:?} requests batching but protocol {:?} does not \
+                 support multi-envelope frames",
+                spec.name,
+                spec.protocol
+            );
+            let sched = RailScheduler::new(spec.stripe_threshold, spec.stripe_chunk)
+                .with_batching(BatchPolicy {
+                    max_packets: spec.batch_packets,
+                    max_bytes: spec.batch_bytes,
+                    flush_us: spec.batch_flush_us,
+                });
             let channel = Channel::multirail(
                 spec.name.clone(),
                 rails,
-                RailScheduler::new(spec.stripe_threshold, spec.stripe_chunk),
+                sched,
                 me,
                 peers,
                 config.host.0,

@@ -65,6 +65,16 @@ pub struct Stats {
     /// Per-rail traffic: (chunks, bytes) carried by each rail of a
     /// multirail channel — the observable outcome of the RailScheduler.
     per_rail: Mutex<HashMap<usize, (u64, u64)>>,
+    /// Multi-envelope batch frames flushed to the wire (exactly zero when
+    /// batching is off — the layer is bypassed entirely).
+    batches: AtomicU64,
+    /// Packets that traveled inside those batch frames.
+    batched_packets: AtomicU64,
+    /// Batch flushes broken down by what closed the batch.
+    batch_flush_express: AtomicU64,
+    batch_flush_full: AtomicU64,
+    batch_flush_explicit: AtomicU64,
+    batch_flush_deadline: AtomicU64,
 }
 
 impl Stats {
@@ -185,6 +195,39 @@ impl Stats {
 
     pub fn stripes(&self) -> u64 {
         self.stripes.load(Ordering::Relaxed)
+    }
+
+    /// Account one flushed batch frame of `packets` packets, closed for
+    /// `reason`.
+    pub fn record_batch(&self, reason: crate::batch::FlushReason, packets: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_packets
+            .fetch_add(packets as u64, Ordering::Relaxed);
+        let ctr = match reason {
+            crate::batch::FlushReason::Express => &self.batch_flush_express,
+            crate::batch::FlushReason::Full => &self.batch_flush_full,
+            crate::batch::FlushReason::Explicit => &self.batch_flush_explicit,
+            crate::batch::FlushReason::Deadline => &self.batch_flush_deadline,
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    pub fn batched_packets(&self) -> u64 {
+        self.batched_packets.load(Ordering::Relaxed)
+    }
+
+    /// Flush counts by reason: `(express, full, explicit, deadline)`.
+    pub fn batch_flush_reasons(&self) -> (u64, u64, u64, u64) {
+        (
+            self.batch_flush_express.load(Ordering::Relaxed),
+            self.batch_flush_full.load(Ordering::Relaxed),
+            self.batch_flush_explicit.load(Ordering::Relaxed),
+            self.batch_flush_deadline.load(Ordering::Relaxed),
+        )
     }
 
     pub fn record_commit(&self) {
@@ -308,6 +351,12 @@ impl Stats {
             failovers: self.failovers(),
             frags_discarded: self.frags_discarded(),
             stripes: self.stripes(),
+            batches: self.batches(),
+            batched_packets: self.batched_packets(),
+            batch_flush_express: self.batch_flush_express.load(Ordering::Relaxed),
+            batch_flush_full: self.batch_flush_full.load(Ordering::Relaxed),
+            batch_flush_explicit: self.batch_flush_explicit.load(Ordering::Relaxed),
+            batch_flush_deadline: self.batch_flush_deadline.load(Ordering::Relaxed),
         }
     }
 }
@@ -331,6 +380,12 @@ pub struct StatsSnapshot {
     pub failovers: u64,
     pub frags_discarded: u64,
     pub stripes: u64,
+    pub batches: u64,
+    pub batched_packets: u64,
+    pub batch_flush_express: u64,
+    pub batch_flush_full: u64,
+    pub batch_flush_explicit: u64,
+    pub batch_flush_deadline: u64,
 }
 
 impl StatsSnapshot {
@@ -353,6 +408,12 @@ impl StatsSnapshot {
             failovers: self.failovers - earlier.failovers,
             frags_discarded: self.frags_discarded - earlier.frags_discarded,
             stripes: self.stripes - earlier.stripes,
+            batches: self.batches - earlier.batches,
+            batched_packets: self.batched_packets - earlier.batched_packets,
+            batch_flush_express: self.batch_flush_express - earlier.batch_flush_express,
+            batch_flush_full: self.batch_flush_full - earlier.batch_flush_full,
+            batch_flush_explicit: self.batch_flush_explicit - earlier.batch_flush_explicit,
+            batch_flush_deadline: self.batch_flush_deadline - earlier.batch_flush_deadline,
         }
     }
 }
@@ -438,6 +499,24 @@ mod tests {
         assert!((s.rail_imbalance() - 0.75).abs() < 1e-9);
         let d = s.snapshot().since(&StatsSnapshot::default());
         assert_eq!(d.stripes, 1);
+    }
+
+    #[test]
+    fn batch_counters_accumulate_by_reason() {
+        use crate::batch::FlushReason;
+        let s = Stats::new();
+        s.record_batch(FlushReason::Full, 16);
+        s.record_batch(FlushReason::Express, 2);
+        s.record_batch(FlushReason::Deadline, 3);
+        s.record_batch(FlushReason::Explicit, 1);
+        assert_eq!(s.batches(), 4);
+        assert_eq!(s.batched_packets(), 22);
+        assert_eq!(s.batch_flush_reasons(), (1, 1, 1, 1));
+        let d = s.snapshot().since(&StatsSnapshot::default());
+        assert_eq!(d.batches, 4);
+        assert_eq!(d.batched_packets, 22);
+        assert_eq!(d.batch_flush_full, 1);
+        assert_eq!(d.batch_flush_deadline, 1);
     }
 
     #[test]

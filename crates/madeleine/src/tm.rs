@@ -159,6 +159,18 @@ impl StaticBuf {
         }
     }
 
+    /// The arrival bytes of a receive-side wrapper, as a refcounted handle
+    /// that outlives this buffer — `None` for send-side (owned) buffers.
+    /// Lets a consumer that slices one arrival into many deliveries (the
+    /// batch layer splitting a multi-envelope frame) keep the payloads
+    /// zero-copy after the buffer is released back to its TM.
+    pub fn shared_bytes(&self) -> Option<Bytes> {
+        match &self.mem {
+            BufMem::Shared(b) => Some(b.clone()),
+            BufMem::Owned(_) | BufMem::Pooled(_) => None,
+        }
+    }
+
     /// Filled contents.
     pub fn filled(&self) -> &[u8] {
         match &self.mem {
@@ -316,6 +328,9 @@ mod tests {
         assert_eq!(b.filled(), b"arrived");
         assert_eq!(b.len(), 7);
         assert_eq!(b.filled().as_ptr(), data.as_ptr());
+        let handle = b.shared_bytes().expect("receive-side wrapper");
+        assert_eq!(handle.as_ptr(), data.as_ptr(), "handle is zero-copy");
+        assert!(StaticBuf::owned(4, 0).shared_bytes().is_none());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! operation); enable it per channel with [`crate::channel::Channel::enable_trace`]
 //! (`Channel` re-exports live in [`crate::channel`]).
 
+use crate::batch::FlushReason;
 use crate::flags::{RecvMode, SendMode};
 use crate::tm::TmId;
 use madsim_net::time::{self, VTime};
@@ -52,9 +53,11 @@ pub enum TraceEvent {
     /// `end_unpacking`'s terminal checkout.
     EndUnpacking,
     /// Copy-accounting summary of one completed outgoing message (recorded
-    /// right after [`EndPacking`](Self::EndPacking)): how many bytes the
-    /// generic layer copied vs. handed to the TM by reference, and how the
-    /// buffer pool served the message's checkouts.
+    /// right after [`EndPacking`](Self::EndPacking)), summed over every TM
+    /// the message touched — across all rails it was striped over, and
+    /// including blocks that left inside batch frames: bytes the generic
+    /// layer copied vs. handed down by reference, and how the shared
+    /// buffer pool served the message's checkouts on every rail.
     MessageStats {
         copied_bytes: u64,
         borrowed_bytes: u64,
@@ -90,6 +93,15 @@ pub enum TraceEvent {
     /// A rail was quarantined after a link failure; its traffic fails
     /// over to the surviving rails.
     RailDown { rail: usize },
+    /// A send batch to `dst` closed and its multi-envelope frame of
+    /// `packets` packets (`bytes` payload bytes, envelopes excluded) hit
+    /// the wire; `reason` is what closed it.
+    BatchFlush {
+        dst: NodeId,
+        packets: usize,
+        bytes: usize,
+        reason: FlushReason,
+    },
 }
 
 /// A timestamped event.

@@ -690,3 +690,61 @@ fn try_begin_unpacking_consumes_correctly() {
         }
     });
 }
+
+/// `with_batching(1, ...)` *is* batching-off: the coalescing layer is
+/// bypassed entirely, so a traced fault-free exchange over TCP produces
+/// the identical event stream — timestamps included — and the identical
+/// stats snapshot as the default spec. In the deterministic simulation
+/// this is the observable equivalent of the wire-format byte-identity
+/// guarantee for disabled batching.
+#[test]
+fn batch_size_one_is_identical_to_default() {
+    use madeleine::ChannelSpec;
+
+    let run = |batch_one: bool| {
+        let mut b = WorldBuilder::new(2);
+        b.network("eth0", NetKind::Ethernet, &[0, 1]);
+        let world = b.build();
+        let mut spec = ChannelSpec::new("ch", "eth0", Protocol::Tcp);
+        if batch_one {
+            spec = spec.with_batching(1, 4096, 20.0);
+        }
+        let config = Config::default().with_channel_spec(spec);
+        world.run(move |env| {
+            let mad = Madeleine::init(&env, &config);
+            let ch = mad.channel("ch");
+            ch.enable_trace();
+            let sizes = [16usize, 200, 64, 1500];
+            if env.id() == 0 {
+                let mut msg = ch.begin_packing(1);
+                for &n in &sizes {
+                    msg.pack(&vec![7u8; n], SendMode::Cheaper, RecvMode::Cheaper);
+                }
+                msg.end_packing();
+                let mut ack = [0u8; 1];
+                let mut msg = ch.begin_unpacking();
+                msg.unpack_express(&mut ack, SendMode::Cheaper);
+                msg.end_unpacking();
+                assert_eq!(ack[0], 9);
+            } else {
+                let mut bufs: Vec<Vec<u8>> = sizes.iter().map(|&n| vec![0u8; n]).collect();
+                let mut msg = ch.begin_unpacking();
+                for buf in bufs.iter_mut() {
+                    msg.unpack(buf, SendMode::Cheaper, RecvMode::Cheaper);
+                }
+                msg.end_unpacking();
+                assert!(bufs.iter().flatten().all(|&x| x == 7));
+                let mut msg = ch.begin_packing(0);
+                msg.pack(&[9u8], SendMode::Cheaper, RecvMode::Express);
+                msg.end_packing();
+            }
+            assert_eq!(ch.stats().batches(), 0, "batch layer must stay bypassed");
+            (ch.tracer().events(), ch.stats().snapshot())
+        })
+    };
+    assert_eq!(
+        run(false),
+        run(true),
+        "batch_packets == 1 must be indistinguishable from the default spec"
+    );
+}

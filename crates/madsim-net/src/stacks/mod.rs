@@ -25,6 +25,46 @@ pub mod sisci;
 pub mod tcp;
 pub mod via;
 
+/// Fixed per-frame cost of one wire frame on a stack, independent of its
+/// payload length: the one-way latency floor plus the sender's host time
+/// (syscall, descriptor post, or kernel-buffer round). This is the cost a
+/// batching layer saves each time it coalesces two packets into one frame,
+/// so the calibrated `Default` timings of each stack and any "frames saved"
+/// accounting in the benches must agree on it — hence one table here.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FrameCost {
+    /// One-way latency floor of one frame, µs.
+    pub lat_us: f64,
+    /// Sender host time per frame (send call / descriptor post), µs.
+    pub host_us: f64,
+}
+
+impl FrameCost {
+    /// Total fixed cost one coalesced frame saves, µs.
+    pub fn per_frame_us(&self) -> f64 {
+        self.lat_us + self.host_us
+    }
+}
+
+/// Fixed frame cost of the TCP/Fast-Ethernet stack (kernel traversal +
+/// `send` syscall).
+pub const TCP_FRAME_COST: FrameCost = FrameCost {
+    lat_us: 60.0,
+    host_us: 4.0,
+};
+
+/// Fixed frame cost of the VIA/SAN stack (doorbell + descriptor post).
+pub const VIA_FRAME_COST: FrameCost = FrameCost {
+    lat_us: 8.0,
+    host_us: 0.8,
+};
+
+/// Fixed frame cost of the SBP stack (kernel mediation + pool operation).
+pub const SBP_FRAME_COST: FrameCost = FrameCost {
+    lat_us: 15.0,
+    host_us: 2.0,
+};
+
 use crate::pci::{BusDir, BusKind};
 use crate::time::{self, VDuration, VTime};
 use crate::world::Adapter;

@@ -49,9 +49,9 @@ pub struct SbpTiming {
 impl Default for SbpTiming {
     fn default() -> Self {
         SbpTiming {
-            lat_us: 15.0,
+            lat_us: crate::stacks::SBP_FRAME_COST.lat_us,
             per_byte_us: 0.025,
-            pool_op_us: 2.0,
+            pool_op_us: crate::stacks::SBP_FRAME_COST.host_us,
             bus_per_byte_us: 0.0076,
         }
     }

@@ -50,9 +50,9 @@ pub struct TcpTiming {
 impl Default for TcpTiming {
     fn default() -> Self {
         TcpTiming {
-            lat_us: 60.0,
+            lat_us: crate::stacks::TCP_FRAME_COST.lat_us,
             per_byte_us: 0.0851,
-            host_send_us: 4.0,
+            host_send_us: crate::stacks::TCP_FRAME_COST.host_us,
             bus_per_byte_us: 0.0076,
         }
     }

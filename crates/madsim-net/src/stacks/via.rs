@@ -40,9 +40,9 @@ pub struct ViaTiming {
 impl Default for ViaTiming {
     fn default() -> Self {
         ViaTiming {
-            lat_us: 8.0,
+            lat_us: crate::stacks::VIA_FRAME_COST.lat_us,
             per_byte_us: 0.0106,
-            post_us: 0.8,
+            post_us: crate::stacks::VIA_FRAME_COST.host_us,
             bus_per_byte_us: 0.0106,
         }
     }

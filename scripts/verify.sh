@@ -29,4 +29,10 @@ test -s BENCH_rails.json
 cargo run --release -p bench --bin overlap -- --out BENCH_overlap.json
 test -s BENCH_overlap.json
 
+# Batching stage: coalescing 64 B packets into multi-envelope frames over
+# TCP must buy real throughput — the binary asserts >= 2x for the 64-packet
+# ping-burst and that a batching-off run never touches the batch layer.
+cargo run --release -p bench --bin batch -- --out BENCH_batch.json
+test -s BENCH_batch.json
+
 echo "verify: all checks passed"

@@ -186,6 +186,67 @@ fn cancel_of_unstarted_op_leaves_stream_intact() {
     });
 }
 
+/// A posted small message on a batched channel parks in `Batched`: its
+/// packets are staged in the open coalescing frame but nothing has hit the
+/// wire. Cancelling it must pull those packets back out of the batch — the
+/// peer sees only later traffic, with no sequence gap, because both the
+/// envelope and the message sequence numbers are claimed at flush time.
+#[test]
+fn cancel_while_batched_withholds_the_envelope() {
+    use madeleine::ChannelSpec;
+
+    let mut b = WorldBuilder::new(2);
+    b.network("eth0", NetKind::Ethernet, &[0, 1]);
+    let world = b.build();
+    let config = Config::default().with_channel_spec(
+        ChannelSpec::new("net", "eth0", Protocol::Tcp).with_batching(16, 4096, 20.0),
+    );
+    world.run(move |env| {
+        let mad = Madeleine::init(&env, &config);
+        let ch = mad.channel("net");
+        if env.id() == 0 {
+            let doomed = ch.post_message(
+                1,
+                vec![(
+                    Bytes::from_static(b"never"),
+                    SendMode::Cheaper,
+                    RecvMode::Cheaper,
+                )],
+            );
+            assert_eq!(ch.engine().state(doomed), Some(OpState::Batched));
+            assert!(
+                ch.cancel_op(doomed),
+                "a staged-but-unflushed op must be cancellable"
+            );
+            assert_eq!(ch.engine().state(doomed), None, "cancelled op is forgotten");
+            let keep = ch.post_message(
+                1,
+                vec![(
+                    Bytes::from_static(b"lives"),
+                    SendMode::Cheaper,
+                    RecvMode::Cheaper,
+                )],
+            );
+            ch.flush().expect("explicit flush ships the survivor");
+            ch.wait_op(keep).expect("surviving op completes");
+            let s = ch.stats();
+            assert!(s.batches() >= 1, "flush of a non-empty batch must count");
+            assert_eq!(
+                s.batched_packets(),
+                2,
+                "only the survivor's header + data may ship"
+            );
+        } else {
+            let mut buf = [0u8; 5];
+            let mut msg = ch.begin_unpacking();
+            msg.unpack(&mut buf, SendMode::Cheaper, RecvMode::Cheaper);
+            msg.end_unpacking();
+            assert_eq!(&buf, b"lives", "cancelled message leaked to the peer");
+        }
+        env.barrier();
+    });
+}
+
 /// Dropping a posted-but-unmatched nonblocking receive must neither hang
 /// nor panic, and must not disturb later traffic.
 #[test]
