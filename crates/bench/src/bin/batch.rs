@@ -44,6 +44,8 @@ struct BatchRun {
     frames_saved: u64,
     /// Fixed frame cost avoided, per the shared stack cost table.
     saved_frame_cost_us: f64,
+    /// Nanoseconds per packet across the whole burst.
+    ns_per_op: f64,
 }
 
 #[derive(serde::Serialize)]
@@ -110,7 +112,11 @@ fn burst(batching: bool) -> Vec<[f64; 3]> {
             0.0
         };
         let stats = ch.stats();
-        [elapsed, stats.batches() as f64, stats.batched_packets() as f64]
+        [
+            elapsed,
+            stats.batches() as f64,
+            stats.batched_packets() as f64,
+        ]
     })
 }
 
@@ -142,6 +148,7 @@ fn measure(batching: bool) -> BatchRun {
         batched_packets,
         frames_saved,
         saved_frame_cost_us: frames_saved as f64 * TCP_FRAME_COST.per_frame_us(),
+        ns_per_op: elapsed_us * 1e3 / (ROUNDS * PACKETS) as f64,
     }
 }
 

@@ -1,0 +1,258 @@
+//! Lock-free hot path: the sharded mailbox, the MPSC completion queue,
+//! and the lock-free buffer pool against their single-lock baselines.
+//!
+//! Unlike the other bench bins, this one measures the *concurrency
+//! primitives themselves* in real time — no simulated fabric, no virtual
+//! clock. The workload is the 4-peer small-message storm the sharding
+//! work targets: four producers (one per peer) firing small items at
+//! four keyed consumers, every item demultiplexed by its peer key. The
+//! baseline is the pre-refactor design, reconstructed inline: one
+//! mutex-guarded deque with a condvar, every push and every keyed scan
+//! serializing on the same lock.
+//!
+//! Headline claim asserted below: the sharded mailbox moves the storm
+//! at 1.3x or more of the single-lock baseline's ops/second. The completion
+//! queue and buffer pool rounds are reported (ns/op) but not gated —
+//! they are single-consumer shapes whose win shows mostly under
+//! contention the storm already demonstrates.
+//!
+//! Writes `BENCH_hotpath.json`. Usage: `hotpath [--out PATH]`
+
+use madeleine::pool::BufPool;
+use madeleine::stats::Stats;
+use madeleine::CompletionQueue;
+use madsim_net::{Mailbox, Shardable};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Peers in the storm (producer/consumer pairs).
+const PEERS: u64 = 4;
+/// Items each producer fires per round.
+const PER_PEER: u64 = 30_000;
+/// Measured rounds (the slowest round is discarded as warmup noise).
+const ROUNDS: usize = 3;
+
+/// A small message of the storm: a peer key plus a payload word standing
+/// in for the frame the real mailbox carries.
+struct Item {
+    key: u64,
+    #[allow(dead_code)]
+    payload: u64,
+}
+
+impl Shardable for Item {
+    fn shard_key(&self) -> u64 {
+        self.key
+    }
+}
+
+/// The pre-refactor mailbox, reconstructed as a baseline: one deque, one
+/// lock, one condvar. Keyed receives scan past other peers' items while
+/// holding the lock — exactly what the shard demux was built to end.
+struct LockedMailbox {
+    q: Mutex<VecDeque<Item>>,
+    cond: Condvar,
+}
+
+impl LockedMailbox {
+    fn new() -> Self {
+        LockedMailbox {
+            q: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn push(&self, item: Item) {
+        self.q.lock().expect("baseline lock").push_back(item);
+        self.cond.notify_all();
+    }
+
+    fn recv_keyed(&self, key: u64) -> Item {
+        let mut q = self.q.lock().expect("baseline lock");
+        loop {
+            if let Some(i) = q.iter().position(|it| it.key == key) {
+                return q.remove(i).expect("position just found");
+            }
+            q = self.cond.wait(q).expect("baseline wait");
+        }
+    }
+}
+
+#[derive(serde::Serialize)]
+struct Round {
+    name: &'static str,
+    ops: u64,
+    elapsed_ns: u64,
+    ns_per_op: f64,
+    ops_per_sec: f64,
+}
+
+fn round(name: &'static str, ops: u64, elapsed_ns: u64) -> Round {
+    Round {
+        name,
+        ops,
+        elapsed_ns,
+        ns_per_op: elapsed_ns as f64 / ops as f64,
+        ops_per_sec: ops as f64 / (elapsed_ns as f64 / 1e9),
+    }
+}
+
+/// Best-of-N wall-clock for one storm body: returns elapsed ns.
+fn best_of<F: FnMut() -> u64>(mut body: F) -> u64 {
+    (0..ROUNDS).map(|_| body()).min().expect("rounds > 0")
+}
+
+/// The 4-peer storm over the sharded mailbox.
+fn storm_sharded() -> u64 {
+    best_of(|| {
+        let m: Mailbox<Item> = Mailbox::new();
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for key in 0..PEERS {
+                let mp = m.clone();
+                s.spawn(move || {
+                    for payload in 0..PER_PEER {
+                        mp.push(Item { key, payload });
+                    }
+                });
+                let mc = m.clone();
+                s.spawn(move || {
+                    for _ in 0..PER_PEER {
+                        let it = mc.recv_keyed(key, |_| true);
+                        assert_eq!(it.key, key);
+                    }
+                });
+            }
+        });
+        t0.elapsed().as_nanos() as u64
+    })
+}
+
+/// The same storm over the single-lock baseline.
+fn storm_locked() -> u64 {
+    best_of(|| {
+        let m = LockedMailbox::new();
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for key in 0..PEERS {
+                let mp = &m;
+                s.spawn(move || {
+                    for payload in 0..PER_PEER {
+                        mp.push(Item { key, payload });
+                    }
+                });
+                let mc = &m;
+                s.spawn(move || {
+                    for _ in 0..PER_PEER {
+                        let it = mc.recv_keyed(key);
+                        assert_eq!(it.key, key);
+                    }
+                });
+            }
+        });
+        t0.elapsed().as_nanos() as u64
+    })
+}
+
+/// Completion-queue round: PEERS producers, one drainer (the MPSC shape
+/// of the progress engine's completion path).
+fn cq_storm() -> u64 {
+    best_of(|| {
+        let q: CompletionQueue<u64> = CompletionQueue::new();
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for p in 0..PEERS {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..PER_PEER {
+                        q.push(p << 32 | i);
+                    }
+                });
+            }
+            let q = &q;
+            s.spawn(move || {
+                for _ in 0..PEERS * PER_PEER {
+                    q.pop_wait().expect("queue not closed");
+                }
+            });
+        });
+        t0.elapsed().as_nanos() as u64
+    })
+}
+
+/// Buffer-pool round: PEERS threads checking out and returning small
+/// buffers (the per-frame allocation path of every driver).
+fn pool_storm() -> u64 {
+    best_of(|| {
+        let pool = BufPool::new(Stats::new());
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for _ in 0..PEERS {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    for _ in 0..PER_PEER {
+                        let mut b = pool.checkout(256);
+                        b.extend_from_slice(&[0u8; 16]);
+                        drop(b);
+                    }
+                });
+            }
+        });
+        t0.elapsed().as_nanos() as u64
+    })
+}
+
+#[derive(serde::Serialize)]
+struct Output {
+    rounds: Vec<Round>,
+    /// Sharded-mailbox ops/second over the single-lock baseline.
+    mailbox_speedup: f64,
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_hotpath.json".into());
+
+    let storm_ops = PEERS * PER_PEER;
+    let rounds = vec![
+        round("mailbox_locked_baseline", storm_ops, storm_locked()),
+        round("mailbox_sharded", storm_ops, storm_sharded()),
+        round("completion_queue_mpsc", storm_ops, cq_storm()),
+        round("bufpool_lockfree", storm_ops, pool_storm()),
+    ];
+    println!(
+        "{:>26} {:>12} {:>10} {:>14}",
+        "round", "ops", "ns/op", "ops/sec"
+    );
+    for r in &rounds {
+        println!(
+            "{:>26} {:>12} {:>10.1} {:>14.0}",
+            r.name, r.ops, r.ns_per_op, r.ops_per_sec
+        );
+    }
+
+    let mailbox_speedup = rounds[1].ops_per_sec / rounds[0].ops_per_sec;
+    println!("4-peer storm mailbox speedup: {mailbox_speedup:.2}x");
+    assert!(
+        mailbox_speedup >= 1.3,
+        "sharded mailbox speedup {mailbox_speedup:.2}x below 1.3x \
+         ({:.0} -> {:.0} ops/sec)",
+        rounds[0].ops_per_sec,
+        rounds[1].ops_per_sec,
+    );
+
+    let json = serde_json::to_string_pretty(&Output {
+        rounds,
+        mailbox_speedup,
+    })
+    .expect("serialize results");
+    std::fs::write(&out_path, json).expect("write results");
+    eprintln!("wrote {out_path}");
+}

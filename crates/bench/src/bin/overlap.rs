@@ -45,6 +45,8 @@ struct OverlapPoint {
     overlapped_mibps: f64,
     /// `blocking_us / overlapped_us`.
     speedup: f64,
+    /// Nanoseconds per operation (one overlapped exchange per point).
+    ns_per_op: f64,
 }
 
 #[derive(serde::Serialize)]
@@ -146,6 +148,7 @@ fn measure(protocol: Protocol, name: &'static str, rails: usize, n: usize) -> Ov
         blocking_mibps: mibps(n, blocking_us),
         overlapped_mibps: mibps(n, overlapped_us),
         speedup: blocking_us / overlapped_us,
+        ns_per_op: overlapped_us * 1e3,
     }
 }
 
@@ -165,7 +168,12 @@ fn main() {
                 let p = measure(protocol, name, rails, n);
                 println!(
                     "{:>5} {:>6} {:>9} {:>12.1} {:>12.1} {:>12.1} {:>7.2}x",
-                    p.protocol, p.rails, p.bytes, p.transfer_us, p.blocking_us, p.overlapped_us,
+                    p.protocol,
+                    p.rails,
+                    p.bytes,
+                    p.transfer_us,
+                    p.blocking_us,
+                    p.overlapped_us,
                     p.speedup
                 );
                 points.push(p);

@@ -92,6 +92,9 @@ fn main() {
                     "message stats: {copied_bytes} B copied, {borrowed_bytes} B \
                      by reference, pool {pool_hits} hits / {pool_misses} misses"
                 ),
+                // Multirail, fault, nonblocking, and batching events are
+                // not part of the Fig. 3 two-node walk-through.
+                other => format!("{other:?}"),
             };
             println!("{:>10.2}us  {desc}", t.at.as_micros_f64());
         }

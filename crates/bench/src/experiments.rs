@@ -676,6 +676,8 @@ pub struct RailPoint {
     pub rail_bytes: Vec<u64>,
     /// `(max - min) / max` of the per-rail byte counts.
     pub rail_imbalance: f64,
+    /// Virtual nanoseconds per operation (one message per point).
+    pub ns_per_op: f64,
 }
 
 /// Measure one [`RailPoint`]. `timing` retimes the BIP stack (`None` =
@@ -734,6 +736,7 @@ pub fn multirail_oneway(
         stripes,
         rail_bytes,
         rail_imbalance,
+        ns_per_op: virtual_us * 1e3,
     }
 }
 

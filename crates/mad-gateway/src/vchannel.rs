@@ -57,7 +57,8 @@ impl VirtualChannelSpec {
     /// Add a backup chain of real channels. The alternate must join the
     /// same end nodes as the primary chain; its gateways may differ.
     pub fn with_alternate(mut self, hops: &[&str]) -> Self {
-        self.alternates.push(hops.iter().map(|h| h.to_string()).collect());
+        self.alternates
+            .push(hops.iter().map(|h| h.to_string()).collect());
         self
     }
 

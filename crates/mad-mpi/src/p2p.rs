@@ -221,9 +221,7 @@ impl P2p {
                     });
                 }
             }
-            if comm.channel().pmm().poll_incoming().is_none() {
-                return None;
-            }
+            comm.channel().pmm().poll_incoming()?;
             // Something is on the wire: classify it. `pump_one` with
             // never-matching selectors routes it to the unexpected queue.
             let mut sink = [0u8; 0];

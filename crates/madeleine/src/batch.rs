@@ -141,7 +141,12 @@ impl Default for BatchPolicy {
 /// destination length and the mirrored send mode and must reach the same
 /// answer. `frame_cap` is the batch TM's `buffer_cap` (identical on both
 /// ends of a protocol).
-pub(crate) fn batchable(policy: &BatchPolicy, len: usize, smode: SendMode, frame_cap: usize) -> bool {
+pub(crate) fn batchable(
+    policy: &BatchPolicy,
+    len: usize,
+    smode: SendMode,
+    frame_cap: usize,
+) -> bool {
     policy.enabled()
         && smode != SendMode::Later
         && len <= policy.max_bytes
@@ -229,6 +234,7 @@ impl SendBatch {
     }
 
     /// Is the batch open (packets staged, frame not shipped)?
+    #[cfg(test)]
     pub(crate) fn is_open(&self) -> bool {
         !self.pending.is_empty()
     }
@@ -337,9 +343,8 @@ pub(crate) fn append(
         BatchItem::Owned(b) => (PendingData::Owned(b), 0),
         BatchItem::DeferredHeader => (PendingData::DeferredHeader, 0),
     };
-    let flags = flags
-        | if express { FLAG_EXPRESS } else { 0 }
-        | if internal { FLAG_INTERNAL } else { 0 };
+    let flags =
+        flags | if express { FLAG_EXPRESS } else { 0 } | if internal { FLAG_INTERNAL } else { 0 };
     let len = data.len();
     let mut b = ctx.conn.send_batch().lock();
     if let Some(e) = b.poison() {
@@ -530,12 +535,7 @@ fn parse_frame_header(hdr: &[u8], src: NodeId) -> MadResult<usize> {
 
 /// Split a whole batch frame into per-packet queue entries, validating
 /// the envelope sequence continuity.
-fn split_frame(
-    ctx: &BatchCtx<'_>,
-    src: NodeId,
-    rb: &mut RecvBatch,
-    frame: Bytes,
-) -> MadResult<()> {
+fn split_frame(ctx: &BatchCtx<'_>, src: NodeId, rb: &mut RecvBatch, frame: Bytes) -> MadResult<()> {
     if frame.len() < BATCH_HDR_LEN {
         return Err(MadError::corrupt(format!(
             "truncated batch frame ({} bytes) from node {src}",
@@ -552,7 +552,8 @@ fn split_frame(
     }
     let mut off = table_end;
     for i in 0..count {
-        let env = &frame[BATCH_HDR_LEN + i * BATCH_ENV_LEN..BATCH_HDR_LEN + (i + 1) * BATCH_ENV_LEN];
+        let env =
+            &frame[BATCH_HDR_LEN + i * BATCH_ENV_LEN..BATCH_HDR_LEN + (i + 1) * BATCH_ENV_LEN];
         let seq = u32::from_le_bytes(env[0..4].try_into().expect("4 bytes"));
         let len = u32::from_le_bytes(env[4..8].try_into().expect("4 bytes")) as usize;
         let flags = u32::from_le_bytes(env[8..12].try_into().expect("4 bytes"));

@@ -52,8 +52,7 @@ use crate::flags::{RecvMode, SendMode};
 use crate::pmm::Pmm;
 use crate::polling::PollPolicy;
 use crate::pool::{BufPool, PooledBuf};
-use crate::progress::{Completion, CompletionQueue, OpId, OpState, OpStep, ProgressEngine,
-    StepOutcome};
+use crate::progress::{Completions, OpId, OpState, OpStep, ProgressEngine, StepOutcome};
 use crate::rail::{self, Rail, RailScheduler, StripeCtx};
 use crate::stats::{Stats, StatsSnapshot};
 use crate::tm::{PendingKind, TmId, TmPending, TmSend, TmStep};
@@ -135,18 +134,7 @@ fn stripe_ack_tag(ack_base: u64, sender: NodeId, block: u64) -> u64 {
 }
 
 impl Channel {
-    pub(crate) fn new(
-        name: String,
-        pmm: Arc<dyn Pmm>,
-        me: NodeId,
-        peers: Vec<NodeId>,
-        host: HostModel,
-        stats: Arc<Stats>,
-    ) -> Arc<Self> {
-        Self::with_pmm(name, pmm, me, peers, host, stats)
-    }
-
-    /// [`new`](Self::new) sharing an existing buffer pool (the session
+    /// [`with_pmm`](Self::with_pmm) sharing an existing buffer pool (the session
     /// creates one pool per channel and wires the same pool into the
     /// protocol drivers, so static-buffer traffic and generic-layer
     /// captures recycle the same slabs).
@@ -201,6 +189,7 @@ impl Channel {
         assert!(!rails.is_empty(), "a channel needs at least one rail");
         assert!(rails.len() <= 64, "the live-rail mask is one u64");
         let conns = Arc::new(Connections::new(me, &peers));
+        let engine = ProgressEngine::new(Arc::clone(&conns));
         let live_mask = Arc::new(AtomicU64::new(u64::MAX >> (64 - rails.len())));
         for r in &rails {
             r.attach_live_mask(Arc::clone(&live_mask));
@@ -221,7 +210,7 @@ impl Channel {
             ack_base,
             live_mask,
             poll,
-            engine: ProgressEngine::new(),
+            engine,
         })
     }
 
@@ -347,12 +336,7 @@ impl Channel {
     /// both sides).
     fn batchable(&self, len: usize, smode: SendMode, rail: usize) -> bool {
         self.sched.batch.enabled()
-            && batch::batchable(
-                &self.sched.batch,
-                len,
-                smode,
-                self.batch_ctx_cap(rail),
-            )
+            && batch::batchable(&self.sched.batch, len, smode, self.batch_ctx_cap(rail))
     }
 
     /// The batch TM's frame budget on `rail`.
@@ -656,20 +640,57 @@ impl Channel {
         }
     }
 
-    /// Poll every alive rail for an announced message (multirail only —
-    /// a single rail uses its PMM's blocking wait directly). Liveness is
-    /// read once per scan from the channel's cached mask — one atomic
-    /// word instead of a per-rail flag walk on this hot loop.
+    /// The rail every sender announces to *this node* on: member lists are
+    /// identical everywhere, so a peer's connection index for us equals our
+    /// own member-list position, and its scheduler pins our announcements
+    /// to `home_rail` of that index (advanced past quarantined rails).
+    fn my_announce_rail(&self) -> usize {
+        let my_index = self
+            .peers
+            .iter()
+            .position(|&p| p == self.me)
+            .expect("channel member list includes self");
+        self.sched.home_rail(my_index, &self.rails)
+    }
+
+    /// Wait for an announced message (multirail only — a single rail uses
+    /// its PMM's blocking wait directly). Liveness is read once per scan
+    /// from the channel's cached mask — one atomic word instead of a
+    /// per-rail flag walk on this hot loop.
+    ///
+    /// Rails are scanned in wrap order starting from [`my_announce_rail`]
+    /// (Self::my_announce_rail), because stripe chunks ride the same
+    /// per-rail streams as announcements: a chunk that lands on a
+    /// non-announce rail before we notice the header must not be
+    /// mistaken for one. When the first pending rail found is *not* the
+    /// announce rail, the frame is either a failover announcement (the
+    /// sender quarantined our announce rail) or such a racing chunk —
+    /// and since a chunk's header is sent strictly before the chunk
+    /// (the chunk-sender threads are spawned after it), observing the
+    /// chunk guarantees the header is visible by now. One rescan from
+    /// the announce rail therefore settles it: the first hit in wrap
+    /// order is a genuine announcement.
     fn wait_incoming_multirail(&self) -> (NodeId, usize) {
         loop {
+            let start = self.my_announce_rail();
+            let n = self.rails.len();
             let live = self.live_mask.load(Ordering::Acquire);
-            for r in self.rails.iter() {
-                if live & (1 << r.id()) == 0 {
-                    continue;
+            let scan = || {
+                (0..n).map(|k| (start + k) % n).find_map(|r| {
+                    if live & (1 << r) == 0 {
+                        return None;
+                    }
+                    self.rails[r].pmm().poll_incoming().map(|src| (src, r))
+                })
+            };
+            match scan() {
+                Some(hit) if hit.1 == start => return hit,
+                Some(_) => {
+                    if let Some(hit) = scan() {
+                        return hit;
+                    }
                 }
-                if let Some(src) = r.pmm().poll_incoming() {
-                    return (src, r.id());
-                }
+                None => {}
             }
             std::thread::yield_now();
         }
@@ -828,7 +849,7 @@ impl Channel {
     /// that sat open past its deadline. Returns how many ops retired.
     pub fn progress(&self) -> usize {
         self.flush_due_batches();
-        self.engine.progress(&self.conns)
+        self.engine.progress()
     }
 
     /// Nonblocking completion test: ticks the engine once and consumes the
@@ -857,7 +878,7 @@ impl Channel {
             if self.sched.batch.enabled() {
                 let _ = self.flush();
             }
-            self.engine.progress(&self.conns);
+            self.engine.progress();
             self.engine.take_result(id)
         });
         if let Ok(at) = r {
@@ -870,7 +891,7 @@ impl Channel {
     /// Cancel a posted op that has not shipped anything yet (see
     /// [`ProgressEngine::cancel`]).
     pub fn cancel_op(&self, id: OpId) -> bool {
-        self.engine.cancel(&self.conns, id)
+        self.engine.cancel(id)
     }
 
     /// The channel's progress engine (op states, in-flight count).
@@ -879,7 +900,7 @@ impl Channel {
     }
 
     /// The queue finished nonblocking ops land on.
-    pub fn completions(&self) -> &CompletionQueue<Completion> {
+    pub fn completions(&self) -> &Completions {
         self.engine.completions()
     }
 
@@ -1064,7 +1085,8 @@ impl OpStep for MessageSendOp {
                     )
                 }
                 FrameStep::BatchHeader => {
-                    let r = batch::append(&self.batch_ctx(), BatchItem::DeferredHeader, false, true);
+                    let r =
+                        batch::append(&self.batch_ctx(), BatchItem::DeferredHeader, false, true);
                     match r {
                         Ok(t) => self.note_ticket(t),
                         Err(e) => return StepOutcome::Failed(e),
@@ -1072,7 +1094,8 @@ impl OpStep for MessageSendOp {
                     continue;
                 }
                 FrameStep::Batch { data, express } => {
-                    let r = batch::append(&self.batch_ctx(), BatchItem::Owned(data), express, false);
+                    let r =
+                        batch::append(&self.batch_ctx(), BatchItem::Owned(data), express, false);
                     match r {
                         Ok(t) => self.note_ticket(t),
                         Err(e) => return StepOutcome::Failed(e),
@@ -1120,7 +1143,12 @@ impl OpStep for MessageSendOp {
                 }
                 Ok(TmSend::Pending(cont)) => {
                     let kind = cont.kind();
-                    self.pending = Some(PendingFrame { kind, cont, tm, len });
+                    self.pending = Some(PendingFrame {
+                        kind,
+                        cont,
+                        tm,
+                        len,
+                    });
                     return StepOutcome::Pending(Self::park_state(kind));
                 }
                 Err(e) => return StepOutcome::Failed(e),

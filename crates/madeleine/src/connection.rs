@@ -15,7 +15,7 @@
 //! [`crate::rail`]).
 
 use crate::batch::{RecvBatch, SendBatch};
-use crate::progress::OpId;
+use crate::progress::{OpId, OpSlab};
 use madsim_net::NodeId;
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
@@ -43,6 +43,15 @@ pub struct Connection {
     /// never pair with the wrong long send). Empty in blocking-only
     /// programs — the fast path pays one uncontended lock per fence check.
     in_flight: Mutex<VecDeque<OpId>>,
+    /// Op state for every nonblocking op addressed to this peer: a slab
+    /// with generational indices (see [`crate::progress`]). Sharding the
+    /// old global op table here means posters/waiters on distinct peers
+    /// never touch the same lock.
+    ops: Mutex<OpSlab>,
+    /// Serializes progress ticks *on this connection only* — the
+    /// replacement for the engine's old global tick lock. Ticks on other
+    /// peers run concurrently.
+    tick: Mutex<()>,
     /// Outgoing small packets coalescing toward the peer (batching
     /// enabled only; stays empty and lock-cheap otherwise).
     send_batch: Mutex<SendBatch>,
@@ -61,6 +70,8 @@ impl Connection {
             tx_stripe_blocks: AtomicU64::new(0),
             rx_stripe_blocks: AtomicU64::new(0),
             in_flight: Mutex::new(VecDeque::new()),
+            ops: Mutex::new(OpSlab::new()),
+            tick: Mutex::new(()),
             send_batch: Mutex::new(SendBatch::new()),
             recv_batch: Mutex::new(RecvBatch::new()),
         }
@@ -137,6 +148,17 @@ impl Connection {
     /// Whether no nonblocking op is outstanding toward the peer.
     pub(crate) fn in_flight_is_empty(&self) -> bool {
         self.in_flight.lock().is_empty()
+    }
+
+    /// This connection's op slab (state of every nonblocking op toward
+    /// the peer).
+    pub(crate) fn ops(&self) -> &Mutex<OpSlab> {
+        &self.ops
+    }
+
+    /// This connection's tick lock (per-peer progress serialization).
+    pub(crate) fn tick(&self) -> &Mutex<()> {
+        &self.tick
     }
 }
 

@@ -375,10 +375,13 @@ impl TmPending for CreditWaitSend {
             if !self.bip.adapter().reachable_to(self.dst) {
                 return Err(MadError::PeerUnreachable { peer: self.dst });
             }
-            let deadline = *self.deadline.get_or_insert_with(|| Instant::now() + FAULT_WAIT);
+            let deadline = *self
+                .deadline
+                .get_or_insert_with(|| Instant::now() + FAULT_WAIT);
             if Instant::now() >= deadline {
                 self.stats.record_link_timeout();
-                self.tracer.record(TraceEvent::CreditTimeout { peer: self.dst });
+                self.tracer
+                    .record(TraceEvent::CreditTimeout { peer: self.dst });
                 return Err(MadError::ChannelDown);
             }
         }
@@ -524,7 +527,9 @@ impl TmPending for RendezvousSend {
         if let Some(cts) = self.bip.try_take_cts(self.dst, self.long_tag) {
             let data = self.data.take().expect("rendezvous block already shipped");
             let start = self.posted_at.max(cts);
-            let local_done = self.bip.send_long_from(self.dst, self.long_tag, data, start);
+            let local_done = self
+                .bip
+                .send_long_from(self.dst, self.long_tag, data, start);
             let host_post = VDuration::from_micros_f64(self.bip.timing().host_post_us);
             return Ok(TmStep::Done(local_done + host_post));
         }
@@ -532,12 +537,15 @@ impl TmPending for RendezvousSend {
             if !self.bip.adapter().reachable_to(self.dst) {
                 return Err(MadError::PeerUnreachable { peer: self.dst });
             }
-            let deadline = *self.deadline.get_or_insert_with(|| Instant::now() + FAULT_WAIT);
+            let deadline = *self
+                .deadline
+                .get_or_insert_with(|| Instant::now() + FAULT_WAIT);
             if Instant::now() >= deadline {
                 // Same taxonomy as the blocking rendezvous: an expired
                 // handshake marks the channel down (BIP cannot retransmit).
                 self.stats.record_link_timeout();
-                self.tracer.record(TraceEvent::CreditTimeout { peer: self.dst });
+                self.tracer
+                    .record(TraceEvent::CreditTimeout { peer: self.dst });
                 return Err(MadError::ChannelDown);
             }
         }

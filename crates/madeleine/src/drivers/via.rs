@@ -30,8 +30,13 @@ use std::time::Duration;
 
 /// Registered buffer (descriptor) size.
 pub const VIA_BUF: usize = 8192;
-/// Receive descriptors preposted per data VI.
-const WINDOW: usize = 16;
+/// Receive descriptors preposted per data VI. Sized generously: a sender
+/// whose window closes blocks for a credit return, and credits only flow
+/// when the *peer's application* consumes — under full-duplex bursts
+/// (both sides fire many sends before receiving) a tight window deadlocks
+/// both ends in the credit wait. Descriptors are cheap in the simulation,
+/// so buy headroom instead.
+const WINDOW: usize = 64;
 /// Return credits every this many consumed buffers.
 const CREDIT_BATCH: usize = 8;
 /// Descriptors preposted on the credit VI.

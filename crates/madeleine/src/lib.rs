@@ -93,7 +93,7 @@ pub use error::{MadError, MadResult};
 pub use flags::{RecvMode, SendMode};
 pub use polling::PollPolicy;
 pub use pool::{BufPool, PooledBuf};
-pub use progress::{Completion, CompletionQueue, OpId, OpState, ProgressEngine};
+pub use progress::{Completion, CompletionQueue, Completions, OpId, OpState, ProgressEngine};
 pub use rail::Rail;
 pub use session::Madeleine;
 pub use stats::{Stats, StatsSnapshot};

@@ -9,15 +9,19 @@
 //! / [`Stats::pool_misses`]) rather than a hope.
 //!
 //! The design is deliberately simple — a handful of power-of-two-ish size
-//! classes, each a mutex-protected free list of `Box<[u8]>` slabs — because
-//! the pool sits on the send hot path: checkout and checkin are one lock
-//! acquisition and one `Vec::pop`/`push` each, O(1) with no search. Classes
+//! classes, each a **lock-free** free list of `Box<[u8]>` slabs (a bounded
+//! MPMC array queue) — because the pool sits on the send hot path: checkout
+//! and checkin are one atomic `pop`/`push` each, O(1) with no search and no
+//! lock to convoy on when several connections churn buffers at once. A
+//! `push` against a full queue simply drops the slab, which doubles as the
+//! retention bound. (This file is lint-guarded by `scripts/verify.sh`: no
+//! `parking_lot` locks may reappear here.) Classes
 //! are sized to the buffers the drivers actually request (16-byte headers,
 //! BIP's 1 kB short buffers, VIA's 8 kB, SBP's 32 kB, and megabyte-class
 //! bodies for SAFER bulk).
 
 use crate::stats::Stats;
-use parking_lot::Mutex;
+use crossbeam::queue::ArrayQueue;
 use std::fmt;
 use std::ops::Deref;
 use std::sync::Arc;
@@ -27,12 +31,13 @@ use std::sync::Arc;
 /// that is never recycled (and counts as a pool miss).
 const CLASS_SIZES: &[usize] = &[64, 1024, 8 * 1024, 32 * 1024, 256 * 1024, 1024 * 1024];
 
-/// Per-class cap on retained free slabs; beyond this, checkin frees the
-/// memory instead of growing the pool without bound.
+/// Per-class cap on retained free slabs (the free-queue capacity; must be
+/// a power of two). A checkin that finds the queue full frees the memory
+/// instead of growing the pool without bound.
 const MAX_FREE_PER_CLASS: usize = 32;
 
 struct PoolShared {
-    classes: Vec<Mutex<Vec<Box<[u8]>>>>,
+    classes: Vec<ArrayQueue<Box<[u8]>>>,
     stats: Arc<Stats>,
 }
 
@@ -47,7 +52,7 @@ pub struct BufPool {
 
 impl fmt::Debug for BufPool {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let free: Vec<usize> = self.shared.classes.iter().map(|c| c.lock().len()).collect();
+        let free: Vec<usize> = self.shared.classes.iter().map(|c| c.len()).collect();
         f.debug_struct("BufPool").field("free", &free).finish()
     }
 }
@@ -57,7 +62,10 @@ impl BufPool {
     pub fn new(stats: Arc<Stats>) -> Self {
         BufPool {
             shared: Arc::new(PoolShared {
-                classes: CLASS_SIZES.iter().map(|_| Mutex::new(Vec::new())).collect(),
+                classes: CLASS_SIZES
+                    .iter()
+                    .map(|_| ArrayQueue::new(MAX_FREE_PER_CLASS))
+                    .collect(),
                 stats,
             }),
         }
@@ -72,7 +80,7 @@ impl BufPool {
         let class = CLASS_SIZES.iter().position(|&c| c >= size);
         let mem = match class {
             Some(idx) => {
-                let recycled = self.shared.classes[idx].lock().pop();
+                let recycled = self.shared.classes[idx].pop();
                 match recycled {
                     Some(m) => {
                         self.shared.stats.record_pool_hit();
@@ -112,7 +120,7 @@ impl BufPool {
     /// Free slabs currently retained, summed over all classes (for tests and
     /// debug output).
     pub fn free_count(&self) -> usize {
-        self.shared.classes.iter().map(|c| c.lock().len()).sum()
+        self.shared.classes.iter().map(|c| c.len()).sum()
     }
 
     /// The stats sink shared by this pool.
@@ -237,11 +245,9 @@ impl fmt::Debug for PooledBuf {
 impl Drop for PooledBuf {
     fn drop(&mut self) {
         if let (Some(mem), Some(idx)) = (self.mem.take(), self.class) {
-            let mut free = self.shared.classes[idx].lock();
-            if free.len() < MAX_FREE_PER_CLASS {
-                free.push(mem);
-            }
-            // else: drop the slab; the pool is full enough.
+            // Full queue → Err(mem) → the slab drops; the pool is full
+            // enough. The queue's bounded capacity IS the retention cap.
+            let _ = self.shared.classes[idx].push(mem);
         }
     }
 }

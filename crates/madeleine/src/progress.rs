@@ -6,7 +6,7 @@
 //! forfeits compute/communication overlap — an `isend` built on it must
 //! either copy or block through the rendezvous. This module inverts the
 //! control flow: a posted message becomes an **op** — a small state
-//! machine — parked in a per-session table, and a `progress()` tick
+//! machine — parked in a per-connection table, and a `progress()` tick
 //! advances every op that can move. Finished ops land on a
 //! [`CompletionQueue`] the caller drains.
 //!
@@ -38,8 +38,21 @@
 //!   batch, but the closing multi-envelope frame has not flushed yet; the
 //!   op retires when a flush covers its last packet. Until the first
 //!   flush nothing has reached the wire, so the op is still cancellable.
-//! * **Complete / Failed** — terminal; the op is removed from the table,
-//!   its result is recorded, and a [`Completion`] is queued.
+//! * **Complete / Failed** — terminal; the op's slot holds its result
+//!   until consumed, and a [`Completion`] is queued.
+//!
+//! ## Sharded op state
+//!
+//! The engine used to keep two global `HashMap`s (`ops`, `results`) and a
+//! global tick lock: every poster, every ticker, every waiter — even ones
+//! driving *different* peers — serialized on them. Op state now lives in a
+//! per-[`Connection`] **slab** ([`OpSlab`]) addressed by generational
+//! indices: an [`OpId`] packs `(peer, slot, generation)` into its 64 bits,
+//! so `state`/`take_result`/`cancel` go straight to the owning
+//! connection's slab with no global map, and a recycled slot can never be
+//! confused with a stale handle (the generation bumps on every free).
+//! The tick lock is per connection too ([`Connection::tick`]): ticks on
+//! independent peers never contend.
 //!
 //! ## Tick semantics
 //!
@@ -56,20 +69,49 @@
 //! were posted: a short message to peer B overtakes an earlier rendezvous
 //! to peer A that is still waiting for its CTS. Within one peer, order is
 //! FIFO. [`ProgressEngine::take_result`] consumes a result by handle and
-//! removes the matching queue entry, so drainers of the queue and callers
-//! of `take_result` never see the same op twice.
+//! voids the matching queue entry (the entry's generation no longer
+//! matches a live retired slot), so drainers of the [`Completions`] view
+//! and callers of `take_result` never see the same op twice.
+//!
+//! This module is one of the lock-free hot-path modules linted by
+//! `scripts/verify.sh`: no `parking_lot` locks may appear here — producers
+//! push completions onto a lock-free ring, and the only mutexes are
+//! `std::sync` consumer-side staging and sleep locks.
 
 use crate::connection::{Connection, Connections};
 use crate::error::{MadError, MadResult};
+use crossbeam::queue::ArrayQueue;
 use madsim_net::time::VTime;
 use madsim_net::NodeId;
-use parking_lot::{Condvar, Mutex};
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-/// Handle of a posted nonblocking operation.
+/// Handle of a posted nonblocking operation. Bit-packed as
+/// `peer(16) | slot(16) | generation(32)`: the peer routes straight to the
+/// owning connection's slab, the slot indexes into it, and the generation
+/// detects stale handles after the slot is recycled.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct OpId(pub u64);
+
+impl OpId {
+    pub(crate) fn encode(peer: NodeId, slot: u16, generation: u32) -> OpId {
+        debug_assert!(peer <= u16::MAX as usize);
+        OpId(((peer as u64) << 48) | ((slot as u64) << 32) | generation as u64)
+    }
+
+    pub(crate) fn peer(self) -> NodeId {
+        (self.0 >> 48) as NodeId
+    }
+
+    pub(crate) fn slot(self) -> u16 {
+        (self.0 >> 32) as u16
+    }
+
+    pub(crate) fn generation(self) -> u32 {
+        self.0 as u32
+    }
+}
 
 /// Where an in-flight op currently stands (see module docs).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -122,18 +164,203 @@ pub struct Completion {
     pub result: MadResult<VTime>,
 }
 
-struct CqInner<T> {
-    items: VecDeque<T>,
-    closed: bool,
+/// One entry of a connection's op slab.
+enum OpEntry {
+    /// Free slot (on the slab's free list).
+    Vacant,
+    /// A live op parked between ticks.
+    Active {
+        state: OpState,
+        step: Box<dyn OpStep>,
+    },
+    /// The (tick-serialized) advancer took the step out to run it without
+    /// holding the slab lock; observers still see the parked state.
+    Stepping { state: OpState },
+    /// Terminal: the result waits here until `take_result` consumes it.
+    Retired { result: MadResult<VTime> },
 }
 
-/// An unbounded multi-producer multi-consumer queue with close semantics —
-/// the terminal stage of the progress engine, and a reusable primitive for
-/// any pipeline that hands finished work between threads (the gateway
-/// forwarder uses one per direction).
+struct OpSlot {
+    generation: u32,
+    entry: OpEntry,
+}
+
+/// A connection's op table: a slab with generational indices (slotmap
+/// style). Slots are recycled through a free list; every free bumps the
+/// slot's generation so stale [`OpId`]s can never alias a new op.
+pub(crate) struct OpSlab {
+    slots: Vec<OpSlot>,
+    free: Vec<u16>,
+    /// Ops in Active or Stepping (i.e. not yet terminal).
+    live: usize,
+}
+
+impl OpSlab {
+    pub(crate) fn new() -> Self {
+        OpSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    fn insert(&mut self, step: Box<dyn OpStep>) -> (u16, u32) {
+        self.live += 1;
+        let entry = OpEntry::Active {
+            state: OpState::Posted,
+            step,
+        };
+        if let Some(slot) = self.free.pop() {
+            let s = &mut self.slots[slot as usize];
+            debug_assert!(matches!(s.entry, OpEntry::Vacant));
+            s.entry = entry;
+            (slot, s.generation)
+        } else {
+            let slot = u16::try_from(self.slots.len()).expect("more than 65535 live ops per peer");
+            self.slots.push(OpSlot {
+                generation: 1,
+                entry,
+            });
+            (slot, 1)
+        }
+    }
+
+    fn slot_mut(&mut self, slot: u16, generation: u32) -> Option<&mut OpSlot> {
+        let s = self.slots.get_mut(slot as usize)?;
+        (s.generation == generation).then_some(s)
+    }
+
+    fn state_of(&self, slot: u16, generation: u32) -> Option<OpState> {
+        let s = self.slots.get(slot as usize)?;
+        if s.generation != generation {
+            return None;
+        }
+        match &s.entry {
+            OpEntry::Vacant => None,
+            OpEntry::Active { state, .. } | OpEntry::Stepping { state } => Some(*state),
+            OpEntry::Retired { result } => Some(match result {
+                Ok(_) => OpState::Complete,
+                Err(_) => OpState::Failed,
+            }),
+        }
+    }
+
+    /// Take the step of an Active op out for advancing, leaving a
+    /// `Stepping` marker so concurrent observers still see its state.
+    fn begin_step(&mut self, slot: u16, generation: u32) -> Option<Box<dyn OpStep>> {
+        let s = self.slot_mut(slot, generation)?;
+        let state = match &s.entry {
+            OpEntry::Active { state, .. } => *state,
+            _ => return None,
+        };
+        match std::mem::replace(&mut s.entry, OpEntry::Stepping { state }) {
+            OpEntry::Active { step, .. } => Some(step),
+            _ => unreachable!("matched Active above"),
+        }
+    }
+
+    /// Park a stepped op back in the slab with its new wait state.
+    fn park(&mut self, slot: u16, generation: u32, state: OpState, step: Box<dyn OpStep>) {
+        let s = self
+            .slot_mut(slot, generation)
+            .expect("parked op vanished mid-step");
+        debug_assert!(matches!(s.entry, OpEntry::Stepping { .. }));
+        s.entry = OpEntry::Active { state, step };
+    }
+
+    /// Transition a stepped op to terminal; the result waits in the slot.
+    fn retire(&mut self, slot: u16, generation: u32, result: MadResult<VTime>) {
+        let s = self
+            .slot_mut(slot, generation)
+            .expect("retired op vanished mid-step");
+        debug_assert!(matches!(s.entry, OpEntry::Stepping { .. }));
+        s.entry = OpEntry::Retired { result };
+        self.live -= 1;
+    }
+
+    /// Consume a terminal op's result, freeing its slot. The generation
+    /// bumps here, which also voids the op's completion-queue entry.
+    fn take_retired(&mut self, slot: u16, generation: u32) -> Option<MadResult<VTime>> {
+        let s = self.slot_mut(slot, generation)?;
+        if !matches!(s.entry, OpEntry::Retired { .. }) {
+            return None;
+        }
+        let OpEntry::Retired { result } = std::mem::replace(&mut s.entry, OpEntry::Vacant) else {
+            unreachable!("matched Retired above");
+        };
+        s.generation = s.generation.wrapping_add(1);
+        self.free.push(slot);
+        Some(result)
+    }
+
+    /// Whether the op's completion-queue entry is still live: the slot
+    /// must hold an unconsumed terminal result under the same generation.
+    fn is_retired_live(&self, slot: u16, generation: u32) -> bool {
+        self.slots.get(slot as usize).is_some_and(|s| {
+            s.generation == generation && matches!(s.entry, OpEntry::Retired { .. })
+        })
+    }
+
+    /// Remove a never-started Active op, freeing its slot with a
+    /// generation bump (no dangling slot, no reusable handle). Returns the
+    /// step for the caller to run `on_cancel` outside the slab lock.
+    fn cancel(&mut self, slot: u16, generation: u32) -> Option<Box<dyn OpStep>> {
+        let s = self.slot_mut(slot, generation)?;
+        match &s.entry {
+            OpEntry::Active { step, .. } if !step.started() => {}
+            _ => return None,
+        }
+        let OpEntry::Active { step, .. } = std::mem::replace(&mut s.entry, OpEntry::Vacant) else {
+            unreachable!("matched Active above");
+        };
+        s.generation = s.generation.wrapping_add(1);
+        self.free.push(slot);
+        self.live -= 1;
+        Some(step)
+    }
+
+    /// Ops not yet terminal.
+    fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Slots on the free list (diagnostics for the slot-recycling tests).
+    #[cfg(test)]
+    fn free_len(&self) -> usize {
+        self.free.len()
+    }
+}
+
+impl Default for OpSlab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Ring capacity of a [`CompletionQueue`]; overflow spills to the
+/// consumer-side staging deque, so this bounds the lock-free fast path,
+/// not the queue.
+const CQ_RING_CAP: usize = 256;
+/// Spin iterations a blocked popper burns before sleeping on the condvar.
+const CQ_SPIN_LIMIT: u32 = 32;
+
+/// An unbounded queue with close semantics — the terminal stage of the
+/// progress engine, and a reusable primitive for any pipeline that hands
+/// finished work between threads (the gateway forwarder uses one per
+/// direction). Producers push onto a lock-free MPMC ring (spilling to a
+/// staging deque only when it fills); consumers serialize on the small
+/// staging lock and block only when the queue is truly empty, after a
+/// bounded spin (`spins` counts the burned iterations — the `cq_spins`
+/// observability counter).
 pub struct CompletionQueue<T> {
-    inner: Mutex<CqInner<T>>,
+    ring: ArrayQueue<T>,
+    staged: Mutex<VecDeque<T>>,
+    closed: AtomicBool,
+    version: AtomicU64,
+    waiters: AtomicUsize,
+    sleep: Mutex<()>,
     cond: Condvar,
+    spins: AtomicU64,
 }
 
 impl<T> Default for CompletionQueue<T> {
@@ -142,122 +369,231 @@ impl<T> Default for CompletionQueue<T> {
     }
 }
 
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 impl<T> CompletionQueue<T> {
     pub fn new() -> Self {
         CompletionQueue {
-            inner: Mutex::new(CqInner {
-                items: VecDeque::new(),
-                closed: false,
-            }),
+            ring: ArrayQueue::new(CQ_RING_CAP),
+            staged: Mutex::new(VecDeque::new()),
+            closed: AtomicBool::new(false),
+            version: AtomicU64::new(0),
+            waiters: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
             cond: Condvar::new(),
+            spins: AtomicU64::new(0),
         }
     }
 
     /// Enqueue an item. Returns `false` (dropping the item) if the queue
-    /// has been closed.
+    /// has been closed. Lock-free unless the ring is full or a popper is
+    /// asleep.
     pub fn push(&self, item: T) -> bool {
-        let mut g = self.inner.lock();
-        if g.closed {
+        if self.closed.load(Ordering::Acquire) {
             return false;
         }
-        g.items.push_back(item);
-        drop(g);
-        self.cond.notify_one();
+        if let Err(item) = self.ring.push(item) {
+            let mut staged = lock_unpoisoned(&self.staged);
+            while let Some(x) = self.ring.pop() {
+                staged.push_back(x);
+            }
+            staged.push_back(item);
+        }
+        self.version.fetch_add(1, Ordering::SeqCst);
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            let _g = lock_unpoisoned(&self.sleep);
+            self.cond.notify_all();
+        }
         true
+    }
+
+    /// Lock the staging deque with the ring folded into it (every queued
+    /// item visible in FIFO order).
+    fn open(&self) -> MutexGuard<'_, VecDeque<T>> {
+        let mut staged = lock_unpoisoned(&self.staged);
+        while let Some(x) = self.ring.pop() {
+            staged.push_back(x);
+        }
+        staged
     }
 
     /// Dequeue without blocking.
     pub fn try_pop(&self) -> Option<T> {
-        self.inner.lock().items.pop_front()
+        self.open().pop_front()
     }
 
     /// Dequeue, blocking until an item arrives. Returns `None` only once
-    /// the queue is closed **and** drained.
+    /// the queue is closed **and** drained. Spins briefly before parking —
+    /// completions arrive in bursts from the progress tick.
     pub fn pop_wait(&self) -> Option<T> {
-        let mut g = self.inner.lock();
         loop {
-            if let Some(item) = g.items.pop_front() {
+            let v = self.version.load(Ordering::SeqCst);
+            if let Some(item) = self.try_pop() {
                 return Some(item);
             }
-            if g.closed {
+            if self.closed.load(Ordering::SeqCst) {
                 return None;
             }
-            self.cond.wait(&mut g);
+            let mut spun = 0u32;
+            while spun < CQ_SPIN_LIMIT && self.version.load(Ordering::SeqCst) == v {
+                std::hint::spin_loop();
+                spun += 1;
+            }
+            self.spins.fetch_add(u64::from(spun), Ordering::Relaxed);
+            if spun < CQ_SPIN_LIMIT {
+                continue; // something arrived (or the queue closed) mid-spin
+            }
+            self.waiters.fetch_add(1, Ordering::SeqCst);
+            let mut g = lock_unpoisoned(&self.sleep);
+            while self.version.load(Ordering::SeqCst) == v && !self.closed.load(Ordering::SeqCst) {
+                g = self.cond.wait(g).unwrap_or_else(|e| e.into_inner());
+            }
+            drop(g);
+            self.waiters.fetch_sub(1, Ordering::SeqCst);
         }
     }
 
     /// Close the queue: further pushes are rejected, blocked poppers wake,
     /// already-queued items remain poppable.
     pub fn close(&self) {
-        self.inner.lock().closed = true;
+        self.closed.store(true, Ordering::Release);
+        self.version.fetch_add(1, Ordering::SeqCst);
+        let _g = lock_unpoisoned(&self.sleep);
         self.cond.notify_all();
     }
 
     pub fn len(&self) -> usize {
-        self.inner.lock().items.len()
+        lock_unpoisoned(&self.staged).len() + self.ring.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().items.is_empty()
+        self.len() == 0
     }
 
     /// Take everything currently queued.
     pub fn drain(&self) -> Vec<T> {
-        self.inner.lock().items.drain(..).collect()
+        self.open().drain(..).collect()
     }
 
-    /// Drop every queued item matching the predicate.
-    fn remove_where(&self, mut pred: impl FnMut(&T) -> bool) {
-        self.inner.lock().items.retain(|it| !pred(it));
+    /// Keep only items matching the predicate (consumer-side; the ring is
+    /// folded into staging first so every queued item is considered).
+    fn retain(&self, mut pred: impl FnMut(&T) -> bool) {
+        self.open().retain(|it| pred(it));
+    }
+
+    /// Spin iterations poppers burned before blocking (the `cq_spins`
+    /// observability counter).
+    pub fn spins(&self) -> u64 {
+        self.spins.load(Ordering::Relaxed)
     }
 }
 
-struct OpSlot {
-    peer: NodeId,
-    state: OpState,
-    step: Box<dyn OpStep>,
+/// The engine's view of its completion queue: a [`CompletionQueue`] of
+/// [`Completion`]s that filters out entries whose result was already
+/// consumed by [`ProgressEngine::take_result`] (their generation no longer
+/// matches a live retired slot), preserving the never-see-an-op-twice
+/// contract without a delete-from-the-middle queue operation.
+pub struct Completions {
+    q: CompletionQueue<Completion>,
+    conns: Arc<Connections>,
 }
 
-/// The per-session progress engine: an op table plus the machinery that
-/// drives it (see module docs for tick and ordering semantics).
+impl Completions {
+    fn new(conns: Arc<Connections>) -> Self {
+        Completions {
+            q: CompletionQueue::new(),
+            conns,
+        }
+    }
+
+    fn is_void(&self, c: &Completion) -> bool {
+        match self.conns.get(c.peer) {
+            Some(conn) => !conn
+                .ops()
+                .lock()
+                .is_retired_live(c.id.slot(), c.id.generation()),
+            None => true,
+        }
+    }
+
+    /// Drop queued entries whose op result was already consumed.
+    fn purge(&self) {
+        self.q.retain(|c| !self.is_void(c));
+    }
+
+    /// Dequeue without blocking, skipping consumed entries.
+    pub fn try_pop(&self) -> Option<Completion> {
+        loop {
+            let c = self.q.try_pop()?;
+            if !self.is_void(&c) {
+                return Some(c);
+            }
+        }
+    }
+
+    /// Dequeue, blocking until a live entry arrives. `None` only once the
+    /// queue is closed and drained.
+    pub fn pop_wait(&self) -> Option<Completion> {
+        loop {
+            let c = self.q.pop_wait()?;
+            if !self.is_void(&c) {
+                return Some(c);
+            }
+        }
+    }
+
+    pub fn close(&self) {
+        self.q.close();
+    }
+
+    pub fn len(&self) -> usize {
+        self.purge();
+        self.q.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Take every live queued completion.
+    pub fn drain(&self) -> Vec<Completion> {
+        self.purge();
+        self.q.drain()
+    }
+
+    /// Spin iterations drainers burned before blocking (`cq_spins`).
+    pub fn spins(&self) -> u64 {
+        self.q.spins()
+    }
+}
+
+/// The per-session progress engine: per-connection op slabs plus the
+/// machinery that drives them (see module docs for tick and ordering
+/// semantics).
 pub struct ProgressEngine {
-    next_id: AtomicU64,
-    ops: Mutex<HashMap<u64, OpSlot>>,
-    results: Mutex<HashMap<u64, MadResult<VTime>>>,
-    completions: CompletionQueue<Completion>,
-    /// Serializes ticks so concurrent callers (an app thread inside
-    /// `wait` and another inside `post`) never advance the same op twice.
-    tick: Mutex<()>,
-}
-
-impl Default for ProgressEngine {
-    fn default() -> Self {
-        Self::new()
-    }
+    conns: Arc<Connections>,
+    completions: Completions,
 }
 
 impl ProgressEngine {
-    pub fn new() -> Self {
+    pub(crate) fn new(conns: Arc<Connections>) -> Self {
         ProgressEngine {
-            next_id: AtomicU64::new(1),
-            ops: Mutex::new(HashMap::new()),
-            results: Mutex::new(HashMap::new()),
-            completions: CompletionQueue::new(),
-            tick: Mutex::new(()),
+            completions: Completions::new(Arc::clone(&conns)),
+            conns,
         }
     }
 
     /// Register a new op at the tail of `conn`'s in-flight list.
     pub(crate) fn post(&self, conn: &Connection, step: Box<dyn OpStep>) -> OpId {
-        let id = OpId(self.next_id.fetch_add(1, Ordering::Relaxed));
-        self.ops.lock().insert(
-            id.0,
-            OpSlot {
-                peer: conn.peer(),
-                state: OpState::Posted,
-                step,
-            },
+        let peer = conn.peer();
+        assert!(
+            peer <= u16::MAX as usize,
+            "OpId packs the peer id into 16 bits"
         );
+        let (slot, generation) = conn.ops().lock().insert(step);
+        let id = OpId::encode(peer, slot, generation);
         conn.push_in_flight(id);
         id
     }
@@ -273,23 +609,24 @@ impl ProgressEngine {
     /// ops may safely append behind it — that is what makes cross-message
     /// coalescing work at all.
     pub(crate) fn advance_conn(&self, conn: &Connection) -> usize {
-        let _serial = self.tick.lock();
+        // Per-connection serialization: concurrent callers (an app thread
+        // inside `wait` and another inside `post`) never advance the same
+        // op twice, while ticks on *other* peers proceed untouched.
+        let _serial = conn.tick().lock();
         let mut retired = 0;
         let mut pos = 0;
-        loop {
-            let Some(id) = conn.in_flight_at(pos) else {
-                break;
-            };
-            let Some(mut slot) = self.ops.lock().remove(&id.0) else {
+        while let Some(id) = conn.in_flight_at(pos) {
+            let Some(mut step) = conn.ops().lock().begin_step(id.slot(), id.generation()) else {
                 // Cancelled between the list peek and here.
                 break;
             };
-            // The step runs without the table lock held: TM pendings may
+            // The step runs without the slab lock held: TM pendings may
             // advance the virtual clock and touch driver state.
-            match slot.step.try_advance() {
+            match step.try_advance() {
                 StepOutcome::Pending(state) => {
-                    slot.state = state;
-                    self.ops.lock().insert(id.0, slot);
+                    conn.ops()
+                        .lock()
+                        .park(id.slot(), id.generation(), state, step);
                     if state == OpState::Batched {
                         pos += 1;
                         continue;
@@ -298,12 +635,12 @@ impl ProgressEngine {
                 }
                 StepOutcome::Done(at) => {
                     conn.remove_in_flight(id);
-                    self.retire(id, slot.peer, Ok(at));
+                    self.retire(conn, id, Ok(at));
                     retired += 1;
                 }
                 StepOutcome::Failed(e) => {
                     conn.remove_in_flight(id);
-                    self.retire(id, slot.peer, Err(e));
+                    self.retire(conn, id, Err(e));
                     retired += 1;
                 }
             }
@@ -311,15 +648,21 @@ impl ProgressEngine {
         retired
     }
 
-    fn retire(&self, id: OpId, peer: NodeId, result: MadResult<VTime>) {
-        self.results.lock().insert(id.0, result.clone());
-        self.completions.push(Completion { id, peer, result });
+    fn retire(&self, conn: &Connection, id: OpId, result: MadResult<VTime>) {
+        conn.ops()
+            .lock()
+            .retire(id.slot(), id.generation(), result.clone());
+        self.completions.q.push(Completion {
+            id,
+            peer: conn.peer(),
+            result,
+        });
     }
 
     /// One engine tick: advance every peer's head op (see module docs).
     /// Returns how many ops retired during the tick.
-    pub fn progress(&self, conns: &Connections) -> usize {
-        conns.iter().map(|c| self.advance_conn(c)).sum()
+    pub fn progress(&self) -> usize {
+        self.conns.iter().map(|c| self.advance_conn(c)).sum()
     }
 
     /// Drive one peer's in-flight list to empty. Blocks (spinning through
@@ -344,52 +687,42 @@ impl ProgressEngine {
     /// Current state of an op, if the engine still knows it. Terminal
     /// states are reported until the result is consumed.
     pub fn state(&self, id: OpId) -> Option<OpState> {
-        if let Some(slot) = self.ops.lock().get(&id.0) {
-            return Some(slot.state);
-        }
-        self.results.lock().get(&id.0).map(|r| match r {
-            Ok(_) => OpState::Complete,
-            Err(_) => OpState::Failed,
-        })
+        let conn = self.conns.get(id.peer())?;
+        conn.ops().lock().state_of(id.slot(), id.generation())
     }
 
-    /// Consume the result of a retired op. Removes the op's entry from the
-    /// completion queue too, so queue drainers never see it again.
-    /// `None` while the op is still in flight (or after it was cancelled).
+    /// Consume the result of a retired op. The op's completion-queue entry
+    /// is voided too (its generation stops matching), so queue drainers
+    /// never see it again. `None` while the op is still in flight (or
+    /// after it was cancelled).
     pub fn take_result(&self, id: OpId) -> Option<MadResult<VTime>> {
-        let r = self.results.lock().remove(&id.0)?;
-        self.completions.remove_where(|c| c.id == id);
-        Some(r)
+        let conn = self.conns.get(id.peer())?;
+        conn.ops().lock().take_retired(id.slot(), id.generation())
     }
 
     /// Cancel a posted op that has not shipped anything yet. Returns
     /// `true` if the op was removed; `false` if it already started (or
     /// already retired), in which case it must be driven to completion.
-    pub fn cancel(&self, conns: &Connections, id: OpId) -> bool {
-        let _serial = self.tick.lock();
-        let mut ops = self.ops.lock();
-        let Some(slot) = ops.get(&id.0) else {
+    pub fn cancel(&self, id: OpId) -> bool {
+        let Some(conn) = self.conns.get(id.peer()) else {
             return false;
         };
-        if slot.step.started() {
+        let _serial = conn.tick().lock();
+        let Some(mut step) = conn.ops().lock().cancel(id.slot(), id.generation()) else {
             return false;
-        }
-        let mut slot = ops.remove(&id.0).expect("checked above");
-        drop(ops);
-        slot.step.on_cancel();
-        if let Some(conn) = conns.get(slot.peer) {
-            conn.remove_in_flight(id);
-        }
+        };
+        step.on_cancel();
+        conn.remove_in_flight(id);
         true
     }
 
     /// Number of ops currently in flight.
     pub fn in_flight(&self) -> usize {
-        self.ops.lock().len()
+        self.conns.iter().map(|c| c.ops().lock().live()).sum()
     }
 
     /// The queue finished ops land on.
-    pub fn completions(&self) -> &CompletionQueue<Completion> {
+    pub fn completions(&self) -> &Completions {
         &self.completions
     }
 }
@@ -414,8 +747,8 @@ mod tests {
 
     #[test]
     fn completion_queue_pop_wait_wakes_on_push() {
-        let q = std::sync::Arc::new(CompletionQueue::<u32>::new());
-        let q2 = std::sync::Arc::clone(&q);
+        let q = Arc::new(CompletionQueue::<u32>::new());
+        let q2 = Arc::clone(&q);
         let t = std::thread::spawn(move || q2.pop_wait());
         std::thread::sleep(std::time::Duration::from_millis(10));
         assert!(q.push(7));
@@ -423,12 +756,160 @@ mod tests {
     }
 
     #[test]
-    fn completion_queue_remove_where() {
-        let q: CompletionQueue<u32> = CompletionQueue::new();
-        q.push(1);
-        q.push(2);
-        q.push(3);
-        q.remove_where(|&v| v == 2);
-        assert_eq!(q.drain(), vec![1, 3]);
+    fn completion_queue_overflows_ring_without_loss() {
+        let q: CompletionQueue<usize> = CompletionQueue::new();
+        let n = CQ_RING_CAP * 2 + 3;
+        for i in 0..n {
+            assert!(q.push(i));
+        }
+        assert_eq!(q.len(), n);
+        for i in 0..n {
+            assert_eq!(q.try_pop(), Some(i), "FIFO across the ring/staging spill");
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn completion_queue_mpsc_interleaving_seeded() {
+        // Seeded-thread interleaving: P producers push disjoint ranges
+        // with seed-dependent pacing, one consumer drains with pop_wait.
+        // Per-producer FIFO must hold; nothing may be lost or duplicated.
+        for seed in [3u64, 17, 4242] {
+            let q = Arc::new(CompletionQueue::<u64>::new());
+            let producers = 4u64;
+            let per = 2000u64;
+            let mut handles = Vec::new();
+            for p in 0..producers {
+                let q = Arc::clone(&q);
+                handles.push(std::thread::spawn(move || {
+                    let mut rng = seed.wrapping_mul(p + 1).wrapping_add(0x9E3779B9);
+                    for i in 0..per {
+                        assert!(q.push(p * per + i));
+                        // xorshift-paced yields vary the interleaving per seed
+                        rng ^= rng << 13;
+                        rng ^= rng >> 7;
+                        rng ^= rng << 17;
+                        if rng % 7 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                }));
+            }
+            let consumer = {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut last_per_producer = vec![None::<u64>; producers as usize];
+                    let mut got = 0u64;
+                    while got < producers * per {
+                        let v = q.pop_wait().expect("queue not closed");
+                        let (p, i) = ((v / per) as usize, v % per);
+                        if let Some(prev) = last_per_producer[p] {
+                            assert!(i > prev, "per-producer FIFO violated: {i} after {prev}");
+                        }
+                        last_per_producer[p] = Some(i);
+                        got += 1;
+                    }
+                    got
+                })
+            };
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(consumer.join().unwrap(), producers * per);
+            assert!(q.is_empty());
+        }
+    }
+
+    /// An op that never makes progress and never starts: cancellable.
+    struct NeverStep;
+    impl OpStep for NeverStep {
+        fn try_advance(&mut self) -> StepOutcome {
+            StepOutcome::Pending(OpState::Posted)
+        }
+        fn started(&self) -> bool {
+            false
+        }
+        fn on_cancel(&mut self) {}
+    }
+
+    /// An op that completes on its first tick.
+    struct DoneStep;
+    impl OpStep for DoneStep {
+        fn try_advance(&mut self) -> StepOutcome {
+            StepOutcome::Done(VTime::from_nanos(7))
+        }
+        fn started(&self) -> bool {
+            true
+        }
+        fn on_cancel(&mut self) {
+            unreachable!("started ops are never cancelled")
+        }
+    }
+
+    fn engine_with_peer() -> (Arc<Connections>, ProgressEngine) {
+        let conns = Arc::new(Connections::new(0, &[0, 1]));
+        let eng = ProgressEngine::new(Arc::clone(&conns));
+        (conns, eng)
+    }
+
+    #[test]
+    fn cancel_on_sharded_slab_leaves_no_dangling_slot() {
+        let (conns, eng) = engine_with_peer();
+        let conn = conns.get(1).unwrap();
+        let a = eng.post(conn, Box::new(NeverStep));
+        assert_eq!(eng.in_flight(), 1);
+        assert!(eng.cancel(a));
+        // The slab slot is freed and recycled, not dangling: the stale
+        // handle answers nothing, and the next post reuses the slot under
+        // a fresh generation.
+        assert_eq!(eng.in_flight(), 0);
+        assert!(conn.in_flight_is_empty());
+        assert_eq!(eng.state(a), None);
+        assert!(eng.take_result(a).is_none());
+        assert!(!eng.cancel(a), "double cancel must be a no-op");
+        assert_eq!(conn.ops().lock().free_len(), 1);
+        let b = eng.post(conn, Box::new(NeverStep));
+        assert_eq!(conn.ops().lock().free_len(), 0, "slot was recycled");
+        assert_ne!(a, b, "recycled slot must carry a new generation");
+        assert_eq!(b.slot(), a.slot());
+        assert_eq!(eng.state(a), None, "stale handle must not alias the new op");
+        assert!(eng.cancel(b));
+    }
+
+    #[test]
+    fn take_result_voids_completion_entry() {
+        let (conns, eng) = engine_with_peer();
+        let conn = conns.get(1).unwrap();
+        let id = eng.post(conn, Box::new(DoneStep));
+        assert_eq!(eng.advance_conn(conn), 1);
+        assert_eq!(eng.state(id), Some(OpState::Complete));
+        assert!(eng.take_result(id).unwrap().is_ok());
+        assert!(
+            eng.completions().try_pop().is_none(),
+            "consumed op must vanish from the queue"
+        );
+        assert!(eng.completions().is_empty());
+        assert_eq!(eng.state(id), None, "result consumed");
+        assert!(eng.take_result(id).is_none(), "result consumed only once");
+    }
+
+    #[test]
+    fn drained_completion_still_allows_take_result() {
+        let (conns, eng) = engine_with_peer();
+        let conn = conns.get(1).unwrap();
+        let id = eng.post(conn, Box::new(DoneStep));
+        eng.advance_conn(conn);
+        let c = eng.completions().try_pop().expect("completion queued");
+        assert_eq!(c.id, id);
+        assert_eq!(c.peer, 1);
+        assert!(eng.take_result(id).unwrap().is_ok());
+    }
+
+    #[test]
+    fn op_ids_route_by_peer_slot_generation() {
+        let id = OpId::encode(3, 5, 9);
+        assert_eq!(id.peer(), 3);
+        assert_eq!(id.slot(), 5);
+        assert_eq!(id.generation(), 9);
     }
 }

@@ -181,9 +181,15 @@ impl RailScheduler {
 
     /// Enable small-packet batching with the given policy.
     pub(crate) fn with_batching(mut self, batch: BatchPolicy) -> Self {
-        assert!(batch.max_packets >= 1, "batch packet count must be positive");
+        assert!(
+            batch.max_packets >= 1,
+            "batch packet count must be positive"
+        );
         assert!(batch.max_bytes > 0, "batch byte threshold must be positive");
-        assert!(batch.flush_us > 0.0, "batch flush deadline must be positive");
+        assert!(
+            batch.flush_us > 0.0,
+            "batch flush deadline must be positive"
+        );
         self.batch = batch;
         self
     }
@@ -249,6 +255,12 @@ pub(crate) struct StripeCtx<'c> {
     pub ack_tag: u64,
 }
 
+/// One stripe chunk as an `(offset, len)` span of the source block.
+type ChunkSpan = (usize, usize);
+/// One rail sender thread's outcome: rail id, final virtual clock,
+/// chunks that made it, chunks abandoned after a transport error.
+type RailOutcome = (usize, VTime, Vec<ChunkSpan>, Vec<ChunkSpan>);
+
 /// Stripe `data` to `dst` across the context's alive rails.
 pub(crate) fn stripe_send(ctx: &StripeCtx<'_>, dst: NodeId, data: &[u8]) -> MadResult<()> {
     assert!(
@@ -283,28 +295,27 @@ pub(crate) fn stripe_send(ctx: &StripeCtx<'_>, dst: NodeId, data: &[u8]) -> MadR
         // seeded at `start`, so the rails' synchronous long-message
         // protocols overlap in virtual time. Contention for the shared
         // host PCI bus is modeled by the bus's reservation timeline.
-        let outcomes: Vec<(usize, VTime, Vec<(usize, usize)>, Vec<(usize, usize)>)> =
-            std::thread::scope(|s| {
-                let mut handles = Vec::new();
-                for (rail, span) in alive.iter().zip(&spans) {
-                    if span.is_empty() {
-                        continue;
-                    }
-                    let rail: &Rail = rail;
-                    handles.push(s.spawn(move || {
-                        let clock = ClockHandle::new();
-                        clock.advance_to(start);
-                        let prev = time::install_clock(clock.clone());
-                        let (sent, failed) = send_span(ctx, rail, dst, span, data);
-                        time::restore_clock(prev);
-                        (rail.id(), clock.now(), sent, failed)
-                    }));
+        let outcomes: Vec<RailOutcome> = std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (rail, span) in alive.iter().zip(&spans) {
+                if span.is_empty() {
+                    continue;
                 }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("rail sender thread panicked"))
-                    .collect()
-            });
+                let rail: &Rail = rail;
+                handles.push(s.spawn(move || {
+                    let clock = ClockHandle::new();
+                    clock.advance_to(start);
+                    let prev = time::install_clock(clock.clone());
+                    let (sent, failed) = send_span(ctx, rail, dst, span, data);
+                    time::restore_clock(prev);
+                    (rail.id(), clock.now(), sent, failed)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rail sender thread panicked"))
+                .collect()
+        });
         let mut failed_chunks = Vec::new();
         let mut sent_chunks: Vec<(usize, (usize, usize))> = Vec::new();
         let mut makespan = start;
@@ -334,9 +345,9 @@ fn send_span(
     ctx: &StripeCtx<'_>,
     rail: &Rail,
     dst: NodeId,
-    span: &[(usize, usize)],
+    span: &[ChunkSpan],
     data: &[u8],
-) -> (Vec<(usize, usize)>, Vec<(usize, usize)>) {
+) -> (Vec<ChunkSpan>, Vec<ChunkSpan>) {
     let mut sent = Vec::with_capacity(span.len());
     for (i, &(off, len)) in span.iter().enumerate() {
         if send_chunk(ctx, rail, dst, off, len, data).is_err() {
@@ -398,10 +409,11 @@ fn wait_acks(
         if left.is_zero() {
             break;
         }
-        let Some(frame) = adapter.inbox().recv_match_timeout(
-            |f| f.kind == KIND_STRIPE_ACK && f.tag == ctx.ack_tag && f.src == dst,
-            left,
-        ) else {
+        let Some(frame) =
+            adapter
+                .inbox()
+                .recv_from_timeout(dst, KIND_STRIPE_ACK, |f| f.tag == ctx.ack_tag, left)
+        else {
             break;
         };
         time::advance_to(frame.arrival);
@@ -651,20 +663,20 @@ mod tests {
     #[test]
     fn striping_needs_cheaper_both_ways_and_rails() {
         let sched = RailScheduler::new(1000, 500);
-        use RecvMode::*;
-        use SendMode::*;
-        assert!(sched.should_stripe(1000, Cheaper, Cheaper, 2));
+        use RecvMode as R;
+        use SendMode as S;
+        assert!(sched.should_stripe(1000, S::Cheaper, R::Cheaper, 2));
         assert!(
-            !sched.should_stripe(999, Cheaper, Cheaper, 2),
+            !sched.should_stripe(999, S::Cheaper, R::Cheaper, 2),
             "below threshold"
         );
         assert!(
-            !sched.should_stripe(1000, Cheaper, Cheaper, 1),
+            !sched.should_stripe(1000, S::Cheaper, R::Cheaper, 1),
             "single rail"
         );
-        assert!(!sched.should_stripe(1000, Safer, Cheaper, 2));
-        assert!(!sched.should_stripe(1000, Later, Cheaper, 2));
-        assert!(!sched.should_stripe(1000, Cheaper, Express, 2));
+        assert!(!sched.should_stripe(1000, S::Safer, R::Cheaper, 2));
+        assert!(!sched.should_stripe(1000, S::Later, R::Cheaper, 2));
+        assert!(!sched.should_stripe(1000, S::Cheaper, R::Express, 2));
     }
 
     #[test]

@@ -103,12 +103,13 @@ impl Madeleine {
                 spec.name,
                 spec.protocol
             );
-            let sched = RailScheduler::new(spec.stripe_threshold, spec.stripe_chunk)
-                .with_batching(BatchPolicy {
+            let sched = RailScheduler::new(spec.stripe_threshold, spec.stripe_chunk).with_batching(
+                BatchPolicy {
                     max_packets: spec.batch_packets,
                     max_bytes: spec.batch_bytes,
                     flush_us: spec.batch_flush_us,
-                });
+                },
+            );
             let channel = Channel::multirail(
                 spec.name.clone(),
                 rails,

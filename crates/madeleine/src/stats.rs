@@ -7,10 +7,59 @@
 //! exactly rather than inferring them from timing.
 
 use crate::tm::TmId;
-use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// One `(count, bytes)` cell of a [`TrafficTable`].
+#[derive(Debug, Default)]
+struct TrafficCell {
+    n: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// Fixed table of traffic cells indexed by TM or rail id. Replaces the
+/// old `Mutex<HashMap<..>>` breakdowns: recording is two relaxed
+/// `fetch_add`s on the hot send path — no lock, no allocation, no
+/// contention between rails. Reads are monotonic but a `(count, bytes)`
+/// pair is not a consistent snapshot while writers are live; that is
+/// fine for observability counters, which tests read quiesced.
+#[derive(Debug)]
+struct TrafficTable<const N: usize>([TrafficCell; N]);
+
+impl<const N: usize> Default for TrafficTable<N> {
+    fn default() -> Self {
+        TrafficTable(std::array::from_fn(|_| TrafficCell::default()))
+    }
+}
+
+impl<const N: usize> TrafficTable<N> {
+    fn record(&self, idx: usize, bytes: usize) {
+        let cell = &self.0[idx];
+        cell.n.fetch_add(1, Ordering::Relaxed);
+        cell.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// `(count, bytes)` recorded under `idx`; `(0, 0)` for ids out of
+    /// range (a rail id beyond the mask-imposed cap never records).
+    fn get(&self, idx: usize) -> (u64, u64) {
+        match self.0.get(idx) {
+            Some(c) => (c.n.load(Ordering::Relaxed), c.bytes.load(Ordering::Relaxed)),
+            None => (0, 0),
+        }
+    }
+
+    /// Every id with traffic, in id order (the array is the sort).
+    fn breakdown(&self) -> Vec<(usize, u64, u64)> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let n = c.n.load(Ordering::Relaxed);
+                (n > 0).then(|| (i, n, c.bytes.load(Ordering::Relaxed)))
+            })
+            .collect()
+    }
+}
 
 /// Shared counters for one channel (or one gateway pipeline).
 #[derive(Debug, Default)]
@@ -57,14 +106,17 @@ pub struct Stats {
     /// Partially reassembled fragments discarded on a failover.
     frags_discarded: AtomicU64,
     /// Per-TM traffic: (buffers, bytes) sent through each transmission
-    /// module — the observable outcome of the Switch's selection.
-    per_tm: Mutex<HashMap<TmId, (u64, u64)>>,
+    /// module — the observable outcome of the Switch's selection. One
+    /// cell per possible [`TmId`] (a `u8`), updated lock-free.
+    per_tm: TrafficTable<256>,
     /// Large CHEAPER blocks striped across rails (multirail channels
     /// only; exactly zero on single-rail channels).
     stripes: AtomicU64,
     /// Per-rail traffic: (chunks, bytes) carried by each rail of a
     /// multirail channel — the observable outcome of the RailScheduler.
-    per_rail: Mutex<HashMap<usize, (u64, u64)>>,
+    /// One cell per rail id (the live-rail mask caps rails at 64),
+    /// updated lock-free.
+    per_rail: TrafficTable<64>,
     /// Multi-envelope batch frames flushed to the wire (exactly zero when
     /// batching is off — the layer is bypassed entirely).
     batches: AtomicU64,
@@ -120,29 +172,23 @@ impl Stats {
         self.buffers_sent.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Account `bytes` of payload handed to TM `tm`.
+    /// Account `bytes` of payload handed to TM `tm` (lock-free).
     pub fn record_tm_traffic(&self, tm: TmId, bytes: usize) {
-        let mut m = self.per_tm.lock();
-        let e = m.entry(tm).or_insert((0, 0));
-        e.0 += 1;
-        e.1 += bytes as u64;
+        self.per_tm.record(tm as usize, bytes);
     }
 
     /// (buffers, bytes) sent through TM `tm` so far.
     pub fn tm_traffic(&self, tm: TmId) -> (u64, u64) {
-        self.per_tm.lock().get(&tm).copied().unwrap_or((0, 0))
+        self.per_tm.get(tm as usize)
     }
 
     /// Every TM with traffic, sorted by id.
     pub fn tm_breakdown(&self) -> Vec<(TmId, u64, u64)> {
-        let mut v: Vec<(TmId, u64, u64)> = self
-            .per_tm
-            .lock()
-            .iter()
-            .map(|(&tm, &(n, b))| (tm, n, b))
-            .collect();
-        v.sort_unstable();
-        v
+        self.per_tm
+            .breakdown()
+            .into_iter()
+            .map(|(i, n, b)| (i as TmId, n, b))
+            .collect()
     }
 
     /// Account one striped block (a large CHEAPER block split across
@@ -151,41 +197,32 @@ impl Stats {
         self.stripes.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Account `bytes` (headers + payload) carried by rail `rail`.
+    /// Account `bytes` (headers + payload) carried by rail `rail`
+    /// (lock-free — concurrent rail sender threads never serialize here).
     pub fn record_rail_traffic(&self, rail: usize, bytes: usize) {
-        let mut m = self.per_rail.lock();
-        let e = m.entry(rail).or_insert((0, 0));
-        e.0 += 1;
-        e.1 += bytes as u64;
+        self.per_rail.record(rail, bytes);
     }
 
     /// (chunks, bytes) carried by rail `rail` so far.
     pub fn rail_traffic(&self, rail: usize) -> (u64, u64) {
-        self.per_rail.lock().get(&rail).copied().unwrap_or((0, 0))
+        self.per_rail.get(rail)
     }
 
     /// Every rail with traffic, sorted by rail id.
     pub fn rail_breakdown(&self) -> Vec<(usize, u64, u64)> {
-        let mut v: Vec<(usize, u64, u64)> = self
-            .per_rail
-            .lock()
-            .iter()
-            .map(|(&r, &(n, b))| (r, n, b))
-            .collect();
-        v.sort_unstable();
-        v
+        self.per_rail.breakdown()
     }
 
     /// Relative spread of per-rail byte counts: `(max − min) / max` over
     /// the rails that carried traffic. 0.0 for a perfectly balanced
     /// schedule — and when fewer than two rails carried anything.
     pub fn rail_imbalance(&self) -> f64 {
-        let m = self.per_rail.lock();
-        if m.len() < 2 {
+        let touched = self.per_rail.breakdown();
+        if touched.len() < 2 {
             return 0.0;
         }
-        let max = m.values().map(|&(_, b)| b).max().unwrap_or(0);
-        let min = m.values().map(|&(_, b)| b).min().unwrap_or(0);
+        let max = touched.iter().map(|&(_, _, b)| b).max().unwrap_or(0);
+        let min = touched.iter().map(|&(_, _, b)| b).min().unwrap_or(0);
         if max == 0 {
             0.0
         } else {

@@ -302,7 +302,7 @@ fn static_copy_fills_buffers_tightly() {
         let mut bmm = send_bmm(SendPolicy::StaticCopy, &tm);
         bmm.pack(b"abc", madeleine::SendMode::Cheaper).unwrap();
         bmm.pack(b"defgh", madeleine::SendMode::Cheaper).unwrap(); // exactly fills 8
-                                                          // A full buffer ships immediately.
+                                                                   // A full buffer ships immediately.
         assert_eq!(
             tm.ops(),
             vec![Op::Obtain, Op::SendStatic(b"abcdefgh".to_vec())]
@@ -326,7 +326,8 @@ fn static_copy_splits_oversized_blocks() {
     with_clock(|| {
         let tm = MockTm::new(true, 4);
         let mut bmm = send_bmm(SendPolicy::StaticCopy, &tm);
-        bmm.pack(b"0123456789", madeleine::SendMode::Cheaper).unwrap();
+        bmm.pack(b"0123456789", madeleine::SendMode::Cheaper)
+            .unwrap();
         bmm.flush().unwrap();
         assert_eq!(
             tm.ops(),
@@ -386,7 +387,8 @@ fn static_copy_exact_multiple_spans_three_full_buffers() {
     with_clock(|| {
         let tm = MockTm::new(true, 4);
         let mut bmm = send_bmm(SendPolicy::StaticCopy, &tm);
-        bmm.pack(b"0123456789ab", madeleine::SendMode::Cheaper).unwrap();
+        bmm.pack(b"0123456789ab", madeleine::SendMode::Cheaper)
+            .unwrap();
         let full = vec![
             Op::Obtain,
             Op::SendStatic(b"0123".to_vec()),
@@ -409,7 +411,7 @@ fn static_copy_later_block_packs_in_order_across_boundary() {
         bmm.pack(b"ab", madeleine::SendMode::Cheaper).unwrap(); // staged: 2/4
         bmm.pack(b"LMN", madeleine::SendMode::Later).unwrap(); // deferred to flush
         bmm.pack(b"xy", madeleine::SendMode::Cheaper).unwrap(); // queued behind it
-                                                       // Nothing shipped: the partial buffer waits for the LATER block.
+                                                                // Nothing shipped: the partial buffer waits for the LATER block.
         assert_eq!(tm.ops(), vec![Op::Obtain]);
         bmm.flush().unwrap();
         // Packing order a < L < b holds even though the LATER block

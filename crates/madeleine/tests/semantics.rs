@@ -716,9 +716,10 @@ fn batch_size_one_is_identical_to_default() {
             ch.enable_trace();
             let sizes = [16usize, 200, 64, 1500];
             if env.id() == 0 {
+                let payloads: Vec<Vec<u8>> = sizes.iter().map(|&n| vec![7u8; n]).collect();
                 let mut msg = ch.begin_packing(1);
-                for &n in &sizes {
-                    msg.pack(&vec![7u8; n], SendMode::Cheaper, RecvMode::Cheaper);
+                for p in &payloads {
+                    msg.pack(p, SendMode::Cheaper, RecvMode::Cheaper);
                 }
                 msg.end_packing();
                 let mut ack = [0u8; 1];

@@ -38,6 +38,19 @@ impl Frame {
             payload: Bytes::new(),
         }
     }
+
+    /// The mailbox demux key of a `(src, kind)` pair: the granularity at
+    /// which the sharded [`crate::mailbox::Mailbox`] separates traffic, so
+    /// a targeted receive ("the ack from node 3") opens a single shard.
+    pub fn demux_key(src: NodeId, kind: u16) -> u64 {
+        ((src as u64) << 16) | kind as u64
+    }
+}
+
+impl crate::mailbox::Shardable for Frame {
+    fn shard_key(&self) -> u64 {
+        Frame::demux_key(self.src, self.kind)
+    }
 }
 
 #[cfg(test)]

@@ -42,6 +42,7 @@ pub mod world;
 
 pub use fault::{FaultEvent, FaultPlan, FaultRecord, FaultState, LinkError};
 pub use frame::{Frame, NodeId};
+pub use mailbox::{Mailbox, Shardable};
 pub use pci::{BusDir, BusKind, PciBus, PciConfig};
 pub use perf::PerfCurve;
 pub use time::{VDuration, VTime};

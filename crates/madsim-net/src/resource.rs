@@ -2,9 +2,17 @@
 //!
 //! A [`ResourceTimeline`] models a resource that can serve one transfer at a
 //! time (a NIC engine, a link direction, a DMA engine): requests are granted
-//! back-to-back reservations, so a request arriving while the resource is
+//! non-overlapping reservations, so a request arriving while the resource is
 //! busy is queued in virtual time even if the requesting threads race in real
 //! time.
+//!
+//! Reservations are placed in the *earliest free gap* at or after the asked
+//! instant, not appended behind a watermark. This makes the virtual outcome
+//! independent of the real-time order in which racing threads book: two rail
+//! threads with independent virtual clocks get the same bus placement no
+//! matter which one's `reserve` call wins the lock, because a later call
+//! asking for an earlier virtual instant backfills the gap the earlier call
+//! left open.
 
 use crate::time::{VDuration, VTime};
 use parking_lot::Mutex;
@@ -26,19 +34,21 @@ impl Reservation {
     }
 }
 
-/// A single-server FIFO resource in virtual time.
+/// A single-server resource in virtual time.
 ///
-/// Thread-safe and cheap: one mutex-protected `next_free` instant.
+/// Thread-safe: a mutex-protected set of sorted, disjoint busy spans.
+/// Adjacent spans are coalesced, so a sequential caller streaming
+/// back-to-back transfers keeps the set at one entry.
 #[derive(Clone)]
 pub struct ResourceTimeline {
-    inner: Arc<Mutex<VTime>>,
+    inner: Arc<Mutex<Vec<(VTime, VTime)>>>,
     name: &'static str,
 }
 
 impl ResourceTimeline {
     pub fn new(name: &'static str) -> Self {
         ResourceTimeline {
-            inner: Arc::new(Mutex::new(VTime::ZERO)),
+            inner: Arc::new(Mutex::new(Vec::new())),
             name,
         }
     }
@@ -49,19 +59,55 @@ impl ResourceTimeline {
 
     /// Reserve the resource for `dur`, no earlier than `start`.
     ///
-    /// The reservation begins at `max(start, next_free)` and the resource is
-    /// marked busy until `start + dur`.
+    /// The reservation is placed in the earliest gap at or after `start`
+    /// wide enough to hold `dur`; if every gap is too narrow it queues
+    /// after the last existing reservation. Placement depends only on the
+    /// virtual arguments, never on the real-time order of racing callers.
     pub fn reserve(&self, start: VTime, dur: VDuration) -> Reservation {
-        let mut next_free = self.inner.lock();
-        let actual = start.max(*next_free);
+        let mut spans = self.inner.lock();
+        if dur == VDuration::ZERO {
+            let tail = spans.last().map_or(VTime::ZERO, |&(_, end)| end);
+            let at = start.max(tail);
+            return Reservation { start: at, end: at };
+        }
+        // Walk the sorted spans pushing the candidate start past every busy
+        // span that blocks it; stop at the first gap that fits.
+        let mut actual = start;
+        let mut idx = spans.len();
+        for (i, &(busy_start, busy_end)) in spans.iter().enumerate() {
+            if busy_end <= actual {
+                continue;
+            }
+            if busy_start >= actual + dur {
+                idx = i;
+                break;
+            }
+            actual = busy_end;
+        }
         let end = actual + dur;
-        *next_free = end;
+        spans.insert(idx, (actual, end));
+        // Coalesce with touching neighbours to keep the set small.
+        if idx + 1 < spans.len() && spans[idx].1 == spans[idx + 1].0 {
+            spans[idx].1 = spans[idx + 1].1;
+            spans.remove(idx + 1);
+        }
+        if idx > 0 && spans[idx - 1].1 == spans[idx].0 {
+            spans[idx - 1].1 = spans[idx].1;
+            spans.remove(idx);
+        }
         Reservation { start: actual, end }
     }
 
-    /// The earliest instant a new reservation could start.
+    /// The instant the last booked reservation ends (the busy watermark).
+    ///
+    /// A new reservation may still start *earlier* than this by backfilling
+    /// a gap; callers use it as a "was the resource contended at `t`"
+    /// signal, not as a placement guarantee.
     pub fn next_free(&self) -> VTime {
-        *self.inner.lock()
+        self.inner
+            .lock()
+            .last()
+            .map_or(VTime::ZERO, |&(_, end)| end)
     }
 }
 
@@ -107,6 +153,46 @@ mod tests {
         assert_eq!(r.next_free(), VTime::ZERO);
         r.reserve(at(3), us(4));
         assert_eq!(r.next_free(), at(7));
+    }
+
+    #[test]
+    fn late_booking_backfills_earlier_gap() {
+        let r = ResourceTimeline::new("bus");
+        // Book [0, 100] and [400, 500], leaving a [100, 400] gap.
+        r.reserve(at(0), us(100));
+        r.reserve(at(400), us(100));
+        // A request asked at t=50 but *booked after* the t=400 one must
+        // land in the gap, not queue behind the watermark — virtual
+        // placement is independent of real-time booking order.
+        let b = r.reserve(at(50), us(100));
+        assert_eq!(b.start, at(100));
+        assert_eq!(b.end, at(200));
+        assert_eq!(r.next_free(), at(500));
+        // A request too wide for any remaining gap queues at the tail.
+        let c = r.reserve(at(0), us(250));
+        assert_eq!(c.start, at(500));
+        assert_eq!(c.end, at(750));
+    }
+
+    #[test]
+    fn booking_order_does_not_change_placement() {
+        // The same three requests in two different real-time orders must
+        // produce the same set of busy spans.
+        let place = |order: &[(u64, u64)]| {
+            let r = ResourceTimeline::new("bus");
+            let mut spans: Vec<(VTime, VTime)> = order
+                .iter()
+                .map(|&(t, d)| {
+                    let res = r.reserve(at(t), us(d));
+                    (res.start, res.end)
+                })
+                .collect();
+            spans.sort();
+            spans
+        };
+        let a = place(&[(0, 100), (10, 50), (300, 100)]);
+        let b = place(&[(300, 100), (0, 100), (10, 50)]);
+        assert_eq!(a, b);
     }
 
     #[test]

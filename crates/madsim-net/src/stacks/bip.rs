@@ -125,23 +125,19 @@ impl Bip {
         let f = self
             .adapter
             .inbox()
-            .try_recv_match(|f| f.kind == KIND_SHORT && f.tag == tag && f.src == src)?;
+            .try_recv_from(src, KIND_SHORT, |f| f.tag == tag)?;
         Some(self.finish_short(f).1)
     }
 
     /// Non-blocking peek at the source of the oldest pending short message
     /// with `tag`, without consuming it.
     pub fn peek_short_src(&self, tag: u64) -> Option<NodeId> {
-        self.adapter
-            .inbox()
-            .try_peek_map(|f| f.kind == KIND_SHORT && f.tag == tag, |f| f.src)
+        self.adapter.inbox().poll_src_of(KIND_SHORT, tag)
     }
 
     /// Blocking variant of [`peek_short_src`](Self::peek_short_src).
     pub fn wait_short_src(&self, tag: u64) -> NodeId {
-        self.adapter
-            .inbox()
-            .peek_wait_map(|f| f.kind == KIND_SHORT && f.tag == tag, |f| f.src)
+        self.adapter.inbox().wait_src_of(KIND_SHORT, tag)
     }
 
     /// Send a short message (≤ [`BIP_SHORT_MAX`] bytes). Returns as soon as
@@ -203,7 +199,7 @@ impl Bip {
         let f = self
             .adapter
             .inbox()
-            .recv_match(|f| f.kind == KIND_SHORT && f.tag == tag && f.src == src);
+            .recv_from(src, KIND_SHORT, |f| f.tag == tag);
         self.finish_short(f).1
     }
 
@@ -216,10 +212,10 @@ impl Bip {
         tag: u64,
         timeout: Duration,
     ) -> Option<Bytes> {
-        let f = self.adapter.inbox().recv_match_timeout(
-            |f| f.kind == KIND_SHORT && f.tag == tag && f.src == src,
-            timeout,
-        )?;
+        let f =
+            self.adapter
+                .inbox()
+                .recv_from_timeout(src, KIND_SHORT, |f| f.tag == tag, timeout)?;
         Some(self.finish_short(f).1)
     }
 
@@ -246,7 +242,7 @@ impl Bip {
         let cts = self
             .adapter
             .inbox()
-            .recv_match(|f| f.kind == KIND_CTS && f.tag == tag && f.src == dst);
+            .recv_from(dst, KIND_CTS, |f| f.tag == tag);
         self.send_long_after_cts(dst, tag, data, cts.arrival);
     }
 
@@ -265,10 +261,10 @@ impl Bip {
         if !self.adapter.reachable_to(dst) {
             return Err(LinkError::PeerDead);
         }
-        let cts = self.adapter.inbox().recv_match_timeout(
-            |f| f.kind == KIND_CTS && f.tag == tag && f.src == dst,
-            timeout,
-        );
+        let cts = self
+            .adapter
+            .inbox()
+            .recv_from_timeout(dst, KIND_CTS, |f| f.tag == tag, timeout);
         match cts {
             Some(cts) => {
                 self.send_long_after_cts(dst, tag, data, cts.arrival);
@@ -300,7 +296,7 @@ impl Bip {
     pub fn try_take_cts(&self, dst: NodeId, tag: u64) -> Option<VTime> {
         self.adapter
             .inbox()
-            .try_recv_match(|f| f.kind == KIND_CTS && f.tag == tag && f.src == dst)
+            .try_recv_from(dst, KIND_CTS, |f| f.tag == tag)
             .map(|f| f.arrival)
     }
 
@@ -363,7 +359,7 @@ impl Bip {
         let f = self
             .adapter
             .inbox()
-            .recv_match(|f| f.kind == KIND_LONG && f.tag == tag && f.src == src);
+            .recv_from(src, KIND_LONG, |f| f.tag == tag);
         assert!(
             f.payload.len() <= buf.len(),
             "BIP long message of {} bytes does not fit posted buffer of {}",
@@ -386,10 +382,10 @@ impl Bip {
         buf: &mut [u8],
         timeout: Duration,
     ) -> Result<usize, LinkError> {
-        let f = self.adapter.inbox().recv_match_timeout(
-            |f| f.kind == KIND_LONG && f.tag == tag && f.src == src,
-            timeout,
-        );
+        let f = self
+            .adapter
+            .inbox()
+            .recv_from_timeout(src, KIND_LONG, |f| f.tag == tag, timeout);
         let Some(f) = f else {
             if !self.adapter.reachable_to(src) {
                 return Err(LinkError::PeerDead);
@@ -424,30 +420,12 @@ impl Bip {
 fn count_queued_shorts(adapter: &Adapter, dst: NodeId, src: NodeId, tag: u64) -> usize {
     // Inspect the destination mailbox; simulation-only introspection used to
     // enforce the preallocated-ring contract.
-    let mut n = 0;
-    let inbox = adapter_inbox_of(adapter, dst);
-    // No removal: count matching frames via try/push round trip would
-    // disturb order, so Mailbox exposes only len(); we conservatively use a
-    // dedicated counting receive: match nothing, count by predicate calls.
-    inbox.try_recv_match(|f| {
-        if f.kind == KIND_SHORT && f.src == src && f.tag == tag {
-            n += 1;
-        }
-        false
-    });
-    n
+    adapter_inbox_of(adapter, dst)
+        .count_match(|f| f.kind == KIND_SHORT && f.src == src && f.tag == tag)
 }
 
 fn count_queued_shorts_any_src(adapter: &Adapter, dst: NodeId, tag: u64) -> usize {
-    let mut n = 0;
-    let inbox = adapter_inbox_of(adapter, dst);
-    inbox.try_recv_match(|f| {
-        if f.kind == KIND_SHORT && f.tag == tag {
-            n += 1;
-        }
-        false
-    });
-    n
+    adapter_inbox_of(adapter, dst).count_match(|f| f.kind == KIND_SHORT && f.tag == tag)
 }
 
 fn adapter_inbox_of(adapter: &Adapter, node: NodeId) -> crate::mailbox::Mailbox<Frame> {

@@ -247,13 +247,10 @@ impl Sbp {
                 if now >= deadline {
                     break None;
                 }
-                let f = self.adapter.inbox().recv_match_timeout(
-                    |f| {
-                        f.kind == KIND_SBP_ACK
-                            && f.src == dst
-                            && f.tag == tag
-                            && sbp_ack_seq(f).is_some_and(|s| s <= seq)
-                    },
+                let f = self.adapter.inbox().recv_from_timeout(
+                    dst,
+                    KIND_SBP_ACK,
+                    |f| f.tag == tag && sbp_ack_seq(f).is_some_and(|s| s <= seq),
                     deadline - now,
                 );
                 match f {
@@ -326,7 +323,7 @@ impl Sbp {
             let f = self
                 .adapter
                 .inbox()
-                .recv_match(|f| f.kind == KIND_SBP && f.tag == tag && f.src == src);
+                .recv_from(src, KIND_SBP, |f| f.tag == tag);
             let t = &self.timing;
             time::advance_to(f.arrival);
             time::advance(VDuration::from_micros_f64(t.pool_op_us));
@@ -344,7 +341,7 @@ impl Sbp {
             let pending = self
                 .adapter
                 .inbox()
-                .try_recv_match(|f| f.kind == KIND_SBP && f.tag == tag && f.src == src);
+                .try_recv_from(src, KIND_SBP, |f| f.tag == tag);
             let f = match pending {
                 Some(f) => f,
                 None => {
@@ -356,8 +353,10 @@ impl Sbp {
                         return Err(LinkError::Timeout);
                     }
                     let slice = (deadline - now).min(Duration::from_millis(100));
-                    match self.adapter.inbox().recv_match_timeout(
-                        |f| f.kind == KIND_SBP && f.tag == tag && f.src == src,
+                    match self.adapter.inbox().recv_from_timeout(
+                        src,
+                        KIND_SBP,
+                        |f| f.tag == tag,
                         slice,
                     ) {
                         Some(f) => f,
@@ -374,7 +373,10 @@ impl Sbp {
                 rx.get(&(src, tag)).copied().unwrap_or(0)
             };
             if seq == expected {
-                self.arq.rx.lock().insert((src, tag), expected.wrapping_add(1));
+                self.arq
+                    .rx
+                    .lock()
+                    .insert((src, tag), expected.wrapping_add(1));
                 self.send_ack(src, tag, seq, f.arrival);
                 self.rx_pool.take();
                 let t = &self.timing;
@@ -412,16 +414,12 @@ impl Sbp {
     /// Block until some node has a pending SBP message under `tag`; return
     /// its id without consuming anything.
     pub fn wait_pending_src(&self, tag: u64) -> NodeId {
-        self.adapter
-            .inbox()
-            .peek_wait_map(|f| f.kind == KIND_SBP && f.tag == tag, |f| f.src)
+        self.adapter.inbox().wait_src_of(KIND_SBP, tag)
     }
 
     /// Non-blocking variant of [`wait_pending_src`](Self::wait_pending_src).
     pub fn peek_pending_src(&self, tag: u64) -> Option<NodeId> {
-        self.adapter
-            .inbox()
-            .try_peek_map(|f| f.kind == KIND_SBP && f.tag == tag, |f| f.src)
+        self.adapter.inbox().poll_src_of(KIND_SBP, tag)
     }
 
     /// Receive the next message under `tag` into a kernel receive buffer.

@@ -92,16 +92,12 @@ impl TcpStack {
     /// Block until some peer has unconsumed stream data on `port`; return
     /// the oldest such peer without consuming anything.
     pub fn wait_pending_src(&self, port: u32) -> NodeId {
-        self.adapter
-            .inbox()
-            .peek_wait_map(|f| f.kind == KIND_TCP && f.tag == port as u64, |f| f.src)
+        self.adapter.inbox().wait_src_of(KIND_TCP, port as u64)
     }
 
     /// Non-blocking variant of [`wait_pending_src`](Self::wait_pending_src).
     pub fn peek_pending_src(&self, port: u32) -> Option<NodeId> {
-        self.adapter
-            .inbox()
-            .try_peek_map(|f| f.kind == KIND_TCP && f.tag == port as u64, |f| f.src)
+        self.adapter.inbox().poll_src_of(KIND_TCP, port as u64)
     }
 
     /// Establish (both sides call this) a full-duplex connection to `peer`
@@ -237,7 +233,7 @@ impl TcpConn {
                     let f = self
                         .adapter
                         .inbox()
-                        .recv_match(|f| f.kind == KIND_TCP && f.src == peer && f.tag == port);
+                        .recv_from(peer, KIND_TCP, |f| f.tag == port);
                     self.rx.push_back((f.payload, f.arrival));
                 }
             }
@@ -351,13 +347,10 @@ impl TcpConn {
                 if now >= deadline {
                     break None;
                 }
-                let f = self.adapter.inbox().recv_match_timeout(
-                    |f| {
-                        f.kind == KIND_TCP_ACK
-                            && f.src == peer
-                            && f.tag == port
-                            && ack_seq(f).is_some_and(|s| s <= seq)
-                    },
+                let f = self.adapter.inbox().recv_from_timeout(
+                    peer,
+                    KIND_TCP_ACK,
+                    |f| f.tag == port && ack_seq(f).is_some_and(|s| s <= seq),
                     deadline - now,
                 );
                 match f {
@@ -400,7 +393,7 @@ impl TcpConn {
             let pending = self
                 .adapter
                 .inbox()
-                .try_recv_match(|f| f.kind == KIND_TCP && f.src == peer && f.tag == port);
+                .try_recv_from(peer, KIND_TCP, |f| f.tag == port);
             let f = match pending {
                 Some(f) => f,
                 None => {
@@ -414,8 +407,10 @@ impl TcpConn {
                     // Wait in short slices so a peer crash mid-wait is
                     // noticed promptly.
                     let slice = (deadline - now).min(Duration::from_millis(100));
-                    match self.adapter.inbox().recv_match_timeout(
-                        |f| f.kind == KIND_TCP && f.src == peer && f.tag == port,
+                    match self.adapter.inbox().recv_from_timeout(
+                        peer,
+                        KIND_TCP,
+                        |f| f.tag == port,
                         slice,
                     ) {
                         Some(f) => f,
@@ -589,7 +584,10 @@ mod tests {
                 buf
             }
         });
-        assert!(out[1].iter().enumerate().all(|(i, &x)| x == (i % 251) as u8));
+        assert!(out[1]
+            .iter()
+            .enumerate()
+            .all(|(i, &x)| x == (i % 251) as u8));
     }
 
     #[test]

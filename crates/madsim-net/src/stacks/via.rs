@@ -178,10 +178,11 @@ impl Vi {
     /// Non-blocking receive: completes the oldest posted receive if a
     /// message has already arrived.
     pub fn try_recv(&mut self) -> Option<Bytes> {
+        let tag = self.tag;
         let f = self
             .adapter
             .inbox()
-            .try_recv_match(|f| f.kind == KIND_VIA && f.src == self.peer && f.tag == self.tag)?;
+            .try_recv_from(self.peer, KIND_VIA, |f| f.tag == tag)?;
         let cap = self
             .posted_caps
             .pop_front()
@@ -197,13 +198,10 @@ impl Vi {
 
     /// Non-blocking peek: is a message pending on this VI?
     pub fn has_pending(&self) -> bool {
+        let tag = self.tag;
         self.adapter
             .inbox()
-            .try_peek_map(
-                |f| f.kind == KIND_VIA && f.src == self.peer && f.tag == self.tag,
-                |_| (),
-            )
-            .is_some()
+            .has_from(self.peer, KIND_VIA, |f| f.tag == tag)
     }
 
     /// Wait for the completion of the oldest posted receive; returns the
@@ -217,10 +215,11 @@ impl Vi {
             .posted_caps
             .pop_front()
             .expect("VIA recv with no posted descriptor on this end");
+        let tag = self.tag;
         let f = self
             .adapter
             .inbox()
-            .recv_match(|f| f.kind == KIND_VIA && f.src == self.peer && f.tag == self.tag);
+            .recv_from(self.peer, KIND_VIA, |f| f.tag == tag);
         assert!(
             f.payload.len() <= cap,
             "VIA message of {} bytes exceeds descriptor capacity {cap}",
@@ -246,10 +245,11 @@ impl Vi {
                 return Err(LinkError::PeerDead);
             }
         }
-        let f = self.adapter.inbox().recv_match_timeout(
-            |f| f.kind == KIND_VIA && f.src == self.peer && f.tag == self.tag,
-            timeout,
-        );
+        let tag = self.tag;
+        let f =
+            self.adapter
+                .inbox()
+                .recv_from_timeout(self.peer, KIND_VIA, |f| f.tag == tag, timeout);
         let Some(f) = f else {
             let dead = self
                 .adapter

@@ -9,6 +9,19 @@ cargo test -q
 cargo clippy --all-targets -- -D warnings
 cargo fmt --all -- --check
 
+# Lock-free hot-path lint: the sharded mailbox, progress engine, buffer
+# pool, and stats counters were moved off blocking mutexes — a parking_lot
+# import reappearing in any of them is a regression, not a refactor.
+for f in crates/madsim-net/src/mailbox.rs \
+         crates/madeleine/src/progress.rs \
+         crates/madeleine/src/pool.rs \
+         crates/madeleine/src/stats.rs; do
+    if grep -Eq 'use parking_lot|parking_lot::' "$f"; then
+        echo "verify: FAIL — parking_lot reintroduced in $f (hot path must stay lock-free)" >&2
+        exit 1
+    fi
+done
+
 # Chaos stage: the robustness layer under seeded fault injection, run
 # explicitly so a regression here is named even when the suite is filtered.
 cargo test -q -p mad-integration --test chaos
@@ -34,5 +47,11 @@ test -s BENCH_overlap.json
 # ping-burst and that a batching-off run never touches the batch layer.
 cargo run --release -p bench --bin batch -- --out BENCH_batch.json
 test -s BENCH_batch.json
+
+# Hot-path stage: the concurrency primitives themselves, in real time —
+# the binary asserts the sharded mailbox moves the 4-peer small-message
+# storm at >= 1.3x the ops/sec of the single-lock baseline.
+cargo run --release -p bench --bin hotpath -- --out BENCH_hotpath.json
+test -s BENCH_hotpath.json
 
 echo "verify: all checks passed"

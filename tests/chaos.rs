@@ -158,6 +158,9 @@ fn virtual_channel_fails_over_after_gateway_crash() {
             VirtualChannelSpec::new("vc", &["chA", "chB"], 4096).with_alternate(&["chC", "chD"]);
         let gw = Gateway::spawn(&env, &mad, &config, &spec);
         let vc = VirtualChannel::open(&env, &mad, &config, &spec);
+        if let Some(vc) = vc.as_ref() {
+            vc.enable_trace();
+        }
         let payload: Vec<u8> = (0..LEN).map(|i| (i % 247) as u8).collect();
 
         // Message 1 crosses the healthy primary route.

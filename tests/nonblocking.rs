@@ -6,7 +6,7 @@
 
 use bytes::Bytes;
 use mad_mpi::Mpi;
-use madeleine::{Config, Madeleine, MadError, OpState, Protocol, RecvMode, SendMode};
+use madeleine::{Config, MadError, Madeleine, OpState, Protocol, RecvMode, SendMode};
 use madsim_net::{NetKind, WorldBuilder};
 use std::sync::Arc;
 
@@ -259,7 +259,7 @@ fn dropping_unmatched_irecv_is_harmless() {
             let mut buf = [0u8; 16];
             let mut req = mpi.irecv(Some(1), Some(99), &mut buf);
             assert!(mpi.test(&mut req).is_none(), "nobody sent tag 99");
-            drop(req);
+            let _ = req;
             mpi.send(1, 7, b"ping");
             let mut back = [0u8; 4];
             let st = mpi.recv(Some(1), Some(7), &mut back);
