@@ -1,5 +1,5 @@
 //! Adaptive wire-level batching: burst of small posted messages with and
-//! without multi-envelope coalescing.
+//! without multi-envelope coalescing, under both wire codecs.
 //!
 //! Each round, node 0 posts 64 messages of 64 B toward node 1 over TCP
 //! (Fast Ethernet — the stack with the steepest fixed per-frame cost),
@@ -9,6 +9,12 @@
 //! one frame, so the fixed per-frame cost (`TCP_FRAME_COST`) is paid an
 //! eighth as often. The headline claim asserted below: the batched burst
 //! moves >= 2x the payload throughput of the unbatched one.
+//!
+//! The batched run is measured twice: once forced to the classic
+//! fixed-width codec (`with_classic_wire`) and once auto-negotiated to
+//! the compact varint codec. Identical application traffic, so the whole
+//! difference in frame bytes is header overhead — asserted to shrink by
+//! >= 25% under the compact codec for the 64x64 B burst.
 //!
 //! Writes `BENCH_batch.json`, including the frames saved per the shared
 //! cost table in `madsim_net::stacks` — the same constants the TCP stack
@@ -30,6 +36,8 @@ const PACKET_LEN: usize = 64;
 #[derive(serde::Serialize)]
 struct BatchRun {
     batching: bool,
+    /// Wire codec of the run: "classic" (forced) or "compact" (auto).
+    wire: &'static str,
     rounds: usize,
     packets_per_round: usize,
     packet_bytes: usize,
@@ -44,6 +52,13 @@ struct BatchRun {
     frames_saved: u64,
     /// Fixed frame cost avoided, per the shared stack cost table.
     saved_frame_cost_us: f64,
+    /// Total bytes of node 0's flushed batch frames.
+    frame_bytes: u64,
+    /// Application payload bytes of the burst (64 B packets only).
+    app_payload_bytes: u64,
+    /// Everything that is not application payload: the frame header, the
+    /// per-packet envelopes, and the encoded per-message channel headers.
+    header_bytes: u64,
     /// Nanoseconds per packet across the whole burst.
     ns_per_op: f64,
 }
@@ -52,6 +67,8 @@ struct BatchRun {
 struct Output {
     runs: Vec<BatchRun>,
     speedup: f64,
+    /// Fractional reduction in header bytes, classic -> compact.
+    header_reduction: f64,
 }
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -60,14 +77,18 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-/// Run the burst workload; per node: `[elapsed_us, batches, batched_packets]`.
-fn burst(batching: bool) -> Vec<[f64; 3]> {
+/// Run the burst workload; per node:
+/// `[elapsed_us, batches, batched_packets, frame_bytes, payload_bytes]`.
+fn burst(batching: bool, classic: bool) -> Vec<[f64; 5]> {
     let mut b = WorldBuilder::new(2);
     b.network("net0", NetKind::Ethernet, &[0, 1]);
     let world = b.build();
     let mut spec = ChannelSpec::new("ch", "net0", Protocol::Tcp);
     if batching {
         spec = spec.with_batching(16, 4096, 20.0);
+    }
+    if classic {
+        spec = spec.with_classic_wire();
     }
     let config = Config::default().with_channel_spec(spec);
     world.run(move |env| {
@@ -116,6 +137,8 @@ fn burst(batching: bool) -> Vec<[f64; 3]> {
             elapsed,
             stats.batches() as f64,
             stats.batched_packets() as f64,
+            stats.batch_frame_bytes() as f64,
+            stats.batch_payload_bytes() as f64,
         ]
     })
 }
@@ -124,8 +147,8 @@ fn mibps(bytes: usize, us: f64) -> f64 {
     (bytes as f64 / (1 << 20) as f64) / (us / 1e6)
 }
 
-fn measure(batching: bool) -> BatchRun {
-    let per_node = burst(batching);
+fn measure(batching: bool, classic: bool) -> BatchRun {
+    let per_node = burst(batching, classic);
     let elapsed_us = per_node[0][0];
     let batches = per_node.iter().map(|n| n[1] as u64).sum::<u64>();
     let batched_packets = per_node.iter().map(|n| n[2] as u64).sum::<u64>();
@@ -137,8 +160,14 @@ fn measure(batching: bool) -> BatchRun {
         );
     }
     let payload = ROUNDS * PACKETS * PACKET_LEN;
+    // Header accounting on node 0's frames: every byte beyond the 64 B
+    // application payloads is framing — batch header, envelopes, and the
+    // encoded per-message channel headers riding as deferred packets.
+    let frame_bytes = per_node[0][3] as u64;
+    let app_payload_bytes = if batching { payload as u64 } else { 0 };
     BatchRun {
         batching,
+        wire: if classic { "classic" } else { "compact" },
         rounds: ROUNDS,
         packets_per_round: PACKETS,
         packet_bytes: PACKET_LEN,
@@ -148,6 +177,9 @@ fn measure(batching: bool) -> BatchRun {
         batched_packets,
         frames_saved,
         saved_frame_cost_us: frames_saved as f64 * TCP_FRAME_COST.per_frame_us(),
+        frame_bytes,
+        app_payload_bytes,
+        header_bytes: frame_bytes.saturating_sub(app_payload_bytes),
         ns_per_op: elapsed_us * 1e3 / (ROUNDS * PACKETS) as f64,
     }
 }
@@ -157,15 +189,16 @@ fn main() {
     let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_batch.json".into());
 
     println!(
-        "{:>8} {:>12} {:>10} {:>8} {:>12} {:>14}",
-        "batching", "elapsed us", "MiB/s", "batches", "frames saved", "saved cost us"
+        "{:>8} {:>8} {:>12} {:>10} {:>8} {:>12} {:>12}",
+        "batching", "wire", "elapsed us", "MiB/s", "batches", "frames saved", "header bytes"
     );
-    let off = measure(false);
-    let on = measure(true);
-    for r in [&off, &on] {
+    let off = measure(false, false);
+    let on_classic = measure(true, true);
+    let on = measure(true, false);
+    for r in [&off, &on_classic, &on] {
         println!(
-            "{:>8} {:>12.1} {:>10.3} {:>8} {:>12} {:>14.1}",
-            r.batching, r.elapsed_us, r.mibps, r.batches, r.frames_saved, r.saved_frame_cost_us
+            "{:>8} {:>8} {:>12.1} {:>10.3} {:>8} {:>12} {:>12}",
+            r.batching, r.wire, r.elapsed_us, r.mibps, r.batches, r.frames_saved, r.header_bytes
         );
     }
 
@@ -180,9 +213,31 @@ fn main() {
     );
     println!("64x64B TCP burst batching speedup: {speedup:.2}x");
 
+    // The codec claim: identical burst, identical frames — the compact
+    // varint codec must strip >= 25% of the header bytes.
+    assert_eq!(
+        on.batched_packets, on_classic.batched_packets,
+        "codec must not change what gets batched"
+    );
+    let header_reduction = 1.0 - on.header_bytes as f64 / on_classic.header_bytes.max(1) as f64;
+    assert!(
+        header_reduction >= 0.25,
+        "compact codec header reduction {:.1}% below 25% ({} -> {} bytes)",
+        header_reduction * 100.0,
+        on_classic.header_bytes,
+        on.header_bytes
+    );
+    println!(
+        "64x64B burst header bytes: {} classic -> {} compact ({:.1}% saved)",
+        on_classic.header_bytes,
+        on.header_bytes,
+        header_reduction * 100.0
+    );
+
     let json = serde_json::to_string_pretty(&Output {
-        runs: vec![off, on],
+        runs: vec![off, on_classic, on],
         speedup,
+        header_reduction,
     })
     .expect("serialize results");
     std::fs::write(&out_path, json).expect("write results");

@@ -18,6 +18,7 @@ use madeleine::config::Config;
 use madeleine::pmm::Pmm;
 use madeleine::stats::Stats;
 use madeleine::trace::Tracer;
+use madeleine::wire::{WireMode, WireVersion};
 use madeleine::Madeleine;
 use madsim_net::world::NodeEnv;
 use std::sync::Arc;
@@ -135,7 +136,14 @@ impl VirtualChannel {
                 .iter()
                 .map(|h| mad.try_channel(h).map(|c| Arc::clone(c.pmm())))
                 .collect();
-            routes.push(RouteState::new(r, hop_pmms));
+            // Each hop's fragment headers use that hop channel's negotiated
+            // wire version — a symmetric function of shared configuration,
+            // so every member of the hop (including its gateway) agrees.
+            let hop_wires: Vec<Option<WireVersion>> = chain
+                .iter()
+                .map(|h| mad.try_channel(h).map(|c| c.wire()))
+                .collect();
+            routes.push(RouteState::new(r, hop_pmms, hop_wires));
         }
         let stats = Stats::new();
         let host = config.host.0;
@@ -149,7 +157,16 @@ impl VirtualChannel {
             Arc::clone(&tracer),
         ));
         let pmm: Arc<dyn Pmm> = Arc::new(GenericPmm::new(generic));
-        let chan = Channel::with_pmm_traced(
+        // The virtual channel's own message headers follow the same rule
+        // as any channel: compact on a fault-free world, classic whenever
+        // a fault plan is armed (a world-global fact, so both end nodes
+        // agree without wire traffic).
+        let wire_mode = if env.faults().is_some() {
+            WireMode::Classic
+        } else {
+            WireMode::Auto
+        };
+        let chan = Channel::with_pmm_wired(
             spec.name.clone(),
             pmm,
             me,
@@ -157,6 +174,7 @@ impl VirtualChannel {
             host,
             stats,
             tracer,
+            wire_mode,
         );
         Some(VirtualChannel { chan, route })
     }

@@ -1,4 +1,4 @@
-//! The self-described fragment format (paper §6.1).
+//! The self-described fragment format (paper §6.1) — re-exported.
 //!
 //! Within a homogeneous session Madeleine messages carry no description —
 //! the receiver's unpack sequence supplies it. A gateway has none of that
@@ -6,11 +6,16 @@
 //! header carrying what the gateway needs: where the fragment is going,
 //! where it came from, and how long it is.
 //!
-//! The paper sends route-common information only in the first packet of a
-//! message and per-buffer information with each buffer; we use one compact
-//! uniform header per fragment instead (16 bytes against fragments of
-//! 8–128 kB) — simpler, same asymptotics, and it keeps gateways fully
-//! stateless.
+//! The header's byte layout itself lives in [`madeleine::wire`] with every
+//! other on-wire header of the library, versioned by the per-hop
+//! [`WireVersion`]: the classic 16-byte fixed layout, or a 10-byte compact
+//! layout on fault-free hops. Gateways are stateless and cannot predict
+//! header fields the way channel receivers do, so the compact form shrinks
+//! the fixed fields (u24 length, no magic word, no pad) instead of using
+//! varints. The hop version is read off the hop channel
+//! ([`madeleine::Channel::wire`]) by everyone on that hop — a pure,
+//! symmetric function of shared configuration, so both ends of a hop always
+//! agree without negotiation traffic.
 //!
 //! The header also carries the fragment's **byte offset within its block**.
 //! On a reliable fabric the field is redundant (fragments arrive in order,
@@ -19,103 +24,4 @@
 //! from the stale tail of an aborted attempt, and discard the latter
 //! safely.
 
-use madeleine::error::{MadError, MadResult};
-use madsim_net::NodeId;
-
-/// Fragment header length on the wire.
-pub const FRAG_HEADER_LEN: usize = 16;
-
-const FRAG_MAGIC: u16 = 0x4D47; // "MG"
-
-/// Per-fragment self-description.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct FragHeader {
-    /// Originating end node.
-    pub src: NodeId,
-    /// Final destination end node.
-    pub dst: NodeId,
-    /// Payload bytes following this header.
-    pub len: usize,
-    /// Byte offset of this fragment within its block.
-    pub offset: usize,
-}
-
-impl FragHeader {
-    pub fn encode(&self) -> [u8; FRAG_HEADER_LEN] {
-        let mut b = [0u8; FRAG_HEADER_LEN];
-        b[0..2].copy_from_slice(&FRAG_MAGIC.to_le_bytes());
-        b[2] = u8::try_from(self.src).expect("node ids < 256");
-        b[3] = u8::try_from(self.dst).expect("node ids < 256");
-        b[4..8].copy_from_slice(&(self.len as u32).to_le_bytes());
-        b[8..12].copy_from_slice(&(self.offset as u32).to_le_bytes());
-        b
-    }
-
-    /// Decode a fragment header, reporting a corrupt magic as
-    /// [`MadError::CorruptStream`] — a gateway fed non-fragment traffic
-    /// (e.g. a hop channel also used directly by the application).
-    pub fn try_decode(b: &[u8; FRAG_HEADER_LEN]) -> MadResult<Self> {
-        let magic = u16::from_le_bytes(b[0..2].try_into().expect("2 bytes"));
-        if magic != FRAG_MAGIC {
-            return Err(MadError::corrupt(format!(
-                "corrupt fragment header (magic {magic:#06x}): hop channel \
-                 carrying non-virtual-channel traffic?"
-            )));
-        }
-        Ok(FragHeader {
-            src: b[2] as NodeId,
-            dst: b[3] as NodeId,
-            len: u32::from_le_bytes(b[4..8].try_into().expect("4 bytes")) as usize,
-            offset: u32::from_le_bytes(b[8..12].try_into().expect("4 bytes")) as usize,
-        })
-    }
-
-    /// [`try_decode`](Self::try_decode) for contexts that cannot recover.
-    ///
-    /// # Panics
-    /// Panics on a corrupt magic.
-    pub fn decode(b: &[u8; FRAG_HEADER_LEN]) -> Self {
-        match Self::try_decode(b) {
-            Ok(h) => h,
-            Err(e) => panic!("{e}"),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn header_roundtrip() {
-        let h = FragHeader {
-            src: 3,
-            dst: 9,
-            len: 131072,
-            offset: 8192,
-        };
-        assert_eq!(FragHeader::decode(&h.encode()), h);
-    }
-
-    #[test]
-    fn bad_magic_is_a_corrupt_stream_error() {
-        let b = [0u8; FRAG_HEADER_LEN];
-        match FragHeader::try_decode(&b) {
-            Err(MadError::CorruptStream(what)) => {
-                assert!(what.contains("corrupt fragment header"), "got {what:?}")
-            }
-            other => panic!("expected CorruptStream, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn zero_length_fragment_roundtrip() {
-        let h = FragHeader {
-            src: 0,
-            dst: 1,
-            len: 0,
-            offset: 0,
-        };
-        assert_eq!(FragHeader::decode(&h.encode()), h);
-    }
-}
+pub use madeleine::wire::{FragHeader, WireVersion, FRAG_HEADER_LEN, FRAG_HEADER_LEN_COMPACT};

@@ -39,7 +39,7 @@ pub mod comm;
 pub mod p2p;
 pub mod request;
 
-pub use collectives::ReduceOp;
+pub use collectives::{ReduceOp, Topology};
 pub use comm::Comm;
 pub use p2p::{Status, ANY_SOURCE, ANY_TAG};
 pub use request::{waitall, Request};
@@ -241,5 +241,25 @@ impl Mpi {
     /// Inclusive prefix reduction.
     pub fn scan(&self, op: ReduceOp, data: &[f64]) -> Vec<f64> {
         collectives::scan(&self.comm, &self.p2p, op, data)
+    }
+
+    /// Topology-aware broadcast: leader tree across clusters (one gateway
+    /// crossing per remote cluster), binomial tree inside each cluster,
+    /// large payloads chunk-pipelined through the nonblocking engine.
+    pub fn bcast_hier(&self, topo: &Topology, root: usize, buf: &mut [u8]) {
+        collectives::bcast_hier(&self.comm, &self.p2p, topo, root, buf);
+    }
+
+    /// Topology-aware allreduce (see [`collectives::allreduce_hier`] for
+    /// the exactness conditions under which it is bit-identical to the
+    /// flat algorithm).
+    pub fn allreduce_hier(&self, topo: &Topology, op: ReduceOp, data: &[f64]) -> Vec<f64> {
+        collectives::allreduce_hier(&self.comm, &self.p2p, topo, op, data)
+    }
+
+    /// Topology-aware gather: cluster-local gathers, then one message per
+    /// remote cluster to `root`.
+    pub fn gather_hier(&self, topo: &Topology, root: usize, data: &[u8]) -> Option<Vec<Vec<u8>>> {
+        collectives::gather_hier(&self.comm, &self.p2p, topo, root, data)
     }
 }

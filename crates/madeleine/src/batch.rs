@@ -14,11 +14,12 @@
 //!
 //! ## Wire format
 //!
-//! ```text
-//! [magic u32 = "MADB"][count u32]
-//! [{seq u32, len u32, flags u32}] × count      // envelope table
-//! [payload bytes, concatenated in order]
-//! ```
+//! The frame layouts live in [`crate::wire`] (the one module that defines
+//! every on-wire byte): a classic fixed-field format — magic + count, a
+//! `{seq u32, len u32, flags u32}` envelope table, then the concatenated
+//! payloads — and a compact varint format selected on fault-free channels,
+//! where a prologue byte and an explicit body length replace the fixed
+//! header and the envelope table packs `(len << 2 | flags)` varints.
 //!
 //! Envelope `seq` is a per-connection *batch packet* counter assigned at
 //! flush time; the receiver demands exact continuity, which turns any
@@ -67,25 +68,16 @@ use crate::pool::PooledBuf;
 use crate::rail::Rail;
 use crate::stats::Stats;
 use crate::trace::{TraceEvent, Tracer};
+use crate::wire::{self, WireVersion, BATCH_ENV_LEN, BATCH_HDR_LEN};
 use bytes::Bytes;
 use madsim_net::time::{self, VDuration, VTime};
 use madsim_net::NodeId;
 use std::collections::VecDeque;
 
-/// Magic of a multi-envelope batch frame ("MADB" on the LE wire).
-pub(crate) const BATCH_MAGIC: u32 = 0x4244_414D;
-/// Fixed frame header: magic + packet count.
-pub(crate) const BATCH_HDR_LEN: usize = 8;
-/// One envelope-table entry: `{seq u32, len u32, flags u32}`.
-pub(crate) const BATCH_ENV_LEN: usize = 12;
 /// Envelope flag: the packet was packed `receive_EXPRESS` by the user.
 const FLAG_EXPRESS: u32 = 1 << 0;
 /// Envelope flag: the packet is the channel's internal message header.
 const FLAG_INTERNAL: u32 = 1 << 1;
-/// Upper bound a receiver accepts for the packet count of one frame —
-/// far above any configurable threshold, so a corrupt count field fails
-/// loudly instead of provoking a huge allocation.
-const MAX_FRAME_PACKETS: usize = 65_536;
 
 /// What closed a batch (the `batch_flush_reason` breakdown in
 /// [`Stats`] and the [`TraceEvent::BatchFlush`] payload).
@@ -140,7 +132,9 @@ impl Default for BatchPolicy {
 /// frame? Pure and symmetric: the receiver evaluates it with the
 /// destination length and the mirrored send mode and must reach the same
 /// answer. `frame_cap` is the batch TM's `buffer_cap` (identical on both
-/// ends of a protocol).
+/// ends of a protocol). The budget check uses the *classic* header and
+/// envelope sizes on both wire versions — they bound the compact ones,
+/// and the test must not depend on varint widths only the sender knows.
 pub(crate) fn batchable(
     policy: &BatchPolicy,
     len: usize,
@@ -300,6 +294,8 @@ pub(crate) struct BatchCtx<'a> {
     pub host: &'a crate::config::HostModel,
     pub me: NodeId,
     pub policy: &'a BatchPolicy,
+    /// The channel's negotiated wire format (see [`crate::wire`]).
+    pub wire: WireVersion,
 }
 
 impl BatchCtx<'_> {
@@ -389,40 +385,45 @@ fn flush_locked(ctx: &BatchCtx<'_>, b: &mut SendBatch, reason: FlushReason) -> M
         return Ok(());
     }
     let count = b.pending.len();
-    let payload_bytes = b.bytes;
-    let frame_len = BATCH_HDR_LEN + count * BATCH_ENV_LEN + payload_bytes;
-    let mut frame = Vec::with_capacity(frame_len);
-    frame.extend_from_slice(&BATCH_MAGIC.to_le_bytes());
-    frame.extend_from_slice(&(count as u32).to_le_bytes());
-    // Envelope table first (lengths are known up front), payloads after.
-    let mut headers: Vec<Option<[u8; crate::channel::HEADER_LEN]>> = Vec::with_capacity(count);
-    for p in &b.pending {
-        // A deferred header claims its message sequence number *now*, in
-        // batch order — so cancelled ops left no gap and flushed ops get
-        // exactly the stream position their frame occupies.
-        let hdr = match &p.data {
-            PendingData::DeferredHeader => Some(crate::channel::encode_header(
+    // Deferred headers claim their message sequence numbers *first*, in
+    // batch order — so cancelled ops left no gap and flushed ops get
+    // exactly the stream position their frame occupies. On the compact
+    // wire the encoded header length depends on that sequence number, so
+    // the claims must precede the envelope table.
+    let headers: Vec<Option<wire::HeaderBytes>> = b
+        .pending
+        .iter()
+        .map(|p| match &p.data {
+            PendingData::DeferredHeader => Some(wire::encode_msg_header(
+                ctx.wire,
                 ctx.me,
                 ctx.conn.next_send_seq(),
             )),
             _ => None,
-        };
-        frame.extend_from_slice(&b.env_seq.to_le_bytes());
-        b.env_seq = b.env_seq.wrapping_add(1);
-        frame.extend_from_slice(&(p.data.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&p.flags.to_le_bytes());
-        headers.push(hdr);
-    }
+        })
+        .collect();
+    let packets: Vec<(usize, u32)> = b
+        .pending
+        .iter()
+        .zip(&headers)
+        .map(|(p, hdr)| {
+            let len = hdr.as_ref().map_or_else(|| p.data.len(), |h| h.len());
+            (len, p.flags)
+        })
+        .collect();
+    let payload_bytes: usize = packets.iter().map(|&(len, _)| len).sum();
+    // Envelope table first (lengths are known up front), payloads after.
+    let mut frame = wire::encode_batch_frame(ctx.wire, b.env_seq, &packets);
+    b.env_seq = b.env_seq.wrapping_add(count as u32);
     for (p, hdr) in b.pending.iter().zip(&headers) {
         match &p.data {
             PendingData::Pooled(buf, len) => frame.extend_from_slice(&buf.raw()[..*len]),
             PendingData::Owned(bytes) => frame.extend_from_slice(bytes),
             PendingData::DeferredHeader => {
-                frame.extend_from_slice(&hdr.expect("built above"));
+                frame.extend_from_slice(hdr.as_ref().expect("built above"));
             }
         }
     }
-    debug_assert_eq!(frame.len(), frame_len);
     // The staging gather is a real generic-layer copy; charge it.
     time::advance(ctx.host.memcpy(frame.len()));
     ctx.stats.record_copy(payload_bytes);
@@ -445,6 +446,7 @@ fn flush_locked(ctx: &BatchCtx<'_>, b: &mut SendBatch, reason: FlushReason) -> M
     ctx.stats.record_buffer_sent();
     ctx.stats.record_tm_traffic(tm, frame.len());
     ctx.stats.record_rail_traffic(ctx.rail.id(), frame.len());
+    ctx.stats.record_batch_bytes(frame.len(), payload_bytes);
     ctx.tracer.record(TraceEvent::BatchFlush {
         dst,
         packets: count,
@@ -492,12 +494,37 @@ fn receive_frame(ctx: &BatchCtx<'_>, src: NodeId, rb: &mut RecvBatch) -> MadResu
             .expect("receive_static_buffer wraps arrival bytes");
         tm.release_static_buffer(buf);
         bytes
+    } else if ctx.wire == WireVersion::Compact {
+        // Stream stacks, compact frame: the prologue byte, then the body
+        // length one varint byte at a time (its width is unknown until a
+        // byte clears the continuation bit), then the whole body in one
+        // exact read.
+        let mut pro = [0u8; 1];
+        tm.receive_buffer(src, &mut pro)?;
+        let mut varint = Vec::with_capacity(wire::MAX_VARINT);
+        loop {
+            let mut byte = [0u8; 1];
+            tm.receive_buffer(src, &mut byte)?;
+            varint.push(byte[0]);
+            if byte[0] & wire::VARINT_CONT == 0 || varint.len() == wire::MAX_VARINT {
+                break;
+            }
+        }
+        let mut pos = 0;
+        let body = wire::read_varint(&varint, &mut pos)? as usize;
+        let mut whole = Vec::with_capacity(1 + varint.len() + body);
+        whole.push(pro[0]);
+        whole.extend_from_slice(&varint);
+        let at = whole.len();
+        whole.resize(at + body, 0);
+        tm.receive_buffer(src, &mut whole[at..])?;
+        Bytes::from(whole)
     } else {
-        // Stream stacks: header, envelope table, then all payloads in
-        // three exact reads.
+        // Stream stacks, classic frame: header, envelope table, then all
+        // payloads in three exact reads.
         let mut hdr = [0u8; BATCH_HDR_LEN];
         tm.receive_buffer(src, &mut hdr)?;
-        let count = parse_frame_header(&hdr, src)?;
+        let count = wire::parse_batch_count_classic(&hdr, src)?;
         let mut rest = vec![0u8; count * BATCH_ENV_LEN];
         tm.receive_buffer(src, &mut rest)?;
         let payload_total: usize = rest
@@ -515,63 +542,28 @@ fn receive_frame(ctx: &BatchCtx<'_>, src: NodeId, rb: &mut RecvBatch) -> MadResu
     split_frame(ctx, src, rb, frame)
 }
 
-/// Validate a frame header and return its packet count.
-fn parse_frame_header(hdr: &[u8], src: NodeId) -> MadResult<usize> {
-    let magic = u32::from_le_bytes(hdr[0..4].try_into().expect("4 bytes"));
-    if magic != BATCH_MAGIC {
-        return Err(MadError::corrupt(format!(
-            "bad batch frame magic {magic:#010x} from node {src} \
-             (batching enabled on one end only?)"
-        )));
-    }
-    let count = u32::from_le_bytes(hdr[4..8].try_into().expect("4 bytes")) as usize;
-    if count == 0 || count > MAX_FRAME_PACKETS {
-        return Err(MadError::corrupt(format!(
-            "batch frame from node {src} claims {count} packets"
-        )));
-    }
-    Ok(count)
-}
-
 /// Split a whole batch frame into per-packet queue entries, validating
 /// the envelope sequence continuity.
 fn split_frame(ctx: &BatchCtx<'_>, src: NodeId, rb: &mut RecvBatch, frame: Bytes) -> MadResult<()> {
-    if frame.len() < BATCH_HDR_LEN {
-        return Err(MadError::corrupt(format!(
-            "truncated batch frame ({} bytes) from node {src}",
-            frame.len()
-        )));
-    }
-    let count = parse_frame_header(&frame[..BATCH_HDR_LEN], src)?;
-    let table_end = BATCH_HDR_LEN + count * BATCH_ENV_LEN;
-    if frame.len() < table_end {
-        return Err(MadError::corrupt(format!(
-            "batch frame from node {src} too short for its {count}-entry \
-             envelope table"
-        )));
-    }
-    let mut off = table_end;
-    for i in 0..count {
-        let env =
-            &frame[BATCH_HDR_LEN + i * BATCH_ENV_LEN..BATCH_HDR_LEN + (i + 1) * BATCH_ENV_LEN];
-        let seq = u32::from_le_bytes(env[0..4].try_into().expect("4 bytes"));
-        let len = u32::from_le_bytes(env[4..8].try_into().expect("4 bytes")) as usize;
-        let flags = u32::from_le_bytes(env[8..12].try_into().expect("4 bytes"));
-        if seq != rb.env_seq {
+    let (envelopes, payload_at) = wire::parse_batch_frame(ctx.wire, &frame, src)?;
+    let mut off = payload_at;
+    for (i, env) in envelopes.iter().enumerate() {
+        if env.seq != rb.env_seq {
             return Err(MadError::corrupt(format!(
-                "batch envelope seq {seq} from node {src} where {} was \
+                "batch envelope seq {} from node {src} where {} was \
                  expected (lost or replayed batch frame)",
-                rb.env_seq
+                env.seq, rb.env_seq
             )));
         }
         rb.env_seq = rb.env_seq.wrapping_add(1);
-        if off + len > frame.len() {
+        if off + env.len > frame.len() {
             return Err(MadError::corrupt(format!(
                 "batch envelope {i} from node {src} overruns its frame"
             )));
         }
-        rb.queue.push_back((frame.slice(off..off + len), flags));
-        off += len;
+        rb.queue
+            .push_back((frame.slice(off..off + env.len), env.flags));
+        off += env.len;
     }
     if off != frame.len() {
         return Err(MadError::corrupt(format!(

@@ -57,6 +57,7 @@ use crate::rail::{self, Rail, RailScheduler, StripeCtx};
 use crate::stats::{Stats, StatsSnapshot};
 use crate::tm::{PendingKind, TmId, TmPending, TmSend, TmStep};
 use crate::trace::{TraceEvent, Tracer};
+use crate::wire::{self, WireMode, WireVersion};
 use bytes::Bytes;
 use madsim_net::time::{self, VDuration, VTime};
 use madsim_net::NodeId;
@@ -64,21 +65,12 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-const HEADER_MAGIC: u32 = 0x4D41_4432; // "MAD2"
-/// Size of the internal message header.
-pub const HEADER_LEN: usize = 16;
-
-/// Build the 16-byte internal message header (magic, source node,
-/// per-connection sequence number, zeroed reserved tail). Shared by the
-/// blocking path, the posted-op path, and the batch layer's deferred
-/// headers, so all three emit identical wire bytes.
-pub(crate) fn encode_header(me: NodeId, seq: u32) -> [u8; HEADER_LEN] {
-    let mut hdr = [0u8; HEADER_LEN];
-    hdr[0..4].copy_from_slice(&HEADER_MAGIC.to_le_bytes());
-    hdr[4..8].copy_from_slice(&(me as u32).to_le_bytes());
-    hdr[8..12].copy_from_slice(&seq.to_le_bytes());
-    hdr
-}
+/// Size of the *classic* internal message header — and, on any wire
+/// version, the canonical length both ends feed the symmetric TM-selection
+/// and batch-eligibility tests for a header block (the actual compact
+/// encoding is shorter, but its length depends on the sequence number,
+/// which the classification must not).
+pub use crate::wire::MSG_HEADER_LEN as HEADER_LEN;
 
 /// A closed world for communication (paper §2.1): a set of point-to-point
 /// connections over one network interface and `1..N` adapters (rails).
@@ -121,6 +113,11 @@ pub struct Channel {
     /// How engine-driving waits behave when no op can move (see
     /// [`crate::polling`]).
     poll: PollPolicy,
+    /// The negotiated wire format of every header this channel emits or
+    /// expects (see [`crate::wire`]): resolved once at construction from
+    /// the spec's [`WireMode`] and the world's fault-armed flag — a pure,
+    /// symmetric decision every member reaches identically.
+    wire: WireVersion,
     /// The nonblocking-op state machines of this channel (see
     /// [`crate::progress`]).
     engine: ProgressEngine,
@@ -139,6 +136,7 @@ impl Channel {
     /// protocol drivers, so static-buffer traffic and generic-layer
     /// captures recycle the same slabs).
     #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn with_shared_pool(
         name: String,
         pmm: Arc<dyn Pmm>,
@@ -148,6 +146,7 @@ impl Channel {
         stats: Arc<Stats>,
         pool: BufPool,
         tracer: Arc<Tracer>,
+        wire_mode: WireMode,
     ) -> Arc<Self> {
         let rails = vec![Rail::new(0, pmm, pool.clone(), None)];
         let sched = RailScheduler::new(
@@ -166,6 +165,7 @@ impl Channel {
             tracer,
             0,
             PollPolicy::default(),
+            wire_mode,
         )
     }
 
@@ -185,6 +185,7 @@ impl Channel {
         tracer: Arc<Tracer>,
         ack_base: u64,
         poll: PollPolicy,
+        wire_mode: WireMode,
     ) -> Arc<Self> {
         assert!(!rails.is_empty(), "a channel needs at least one rail");
         assert!(rails.len() <= 64, "the live-rail mask is one u64");
@@ -194,6 +195,10 @@ impl Channel {
         for r in &rails {
             r.attach_live_mask(Arc::clone(&live_mask));
         }
+        // The fault-armed flag is world-global (a FaultPlan covers the
+        // whole world), so every member resolves the same version without
+        // any wire negotiation.
+        let wire = WireVersion::resolve(wire_mode, rails.iter().any(Rail::faulty));
         Arc::new(Channel {
             name,
             rails: Arc::new(rails),
@@ -210,6 +215,7 @@ impl Channel {
             ack_base,
             live_mask,
             poll,
+            wire,
             engine,
         })
     }
@@ -230,6 +236,26 @@ impl Channel {
         Self::with_pmm_traced(name, pmm, me, peers, host, stats, Arc::new(Tracer::new()))
     }
 
+    /// [`with_pmm_traced`](Self::with_pmm_traced) with an explicit wire
+    /// policy. A custom-PMM channel has no adapter of its own to read the
+    /// fault-armed flag from, so the *caller* (who does know its world —
+    /// e.g. the virtual-channel layer) passes the policy: `Classic` on
+    /// fault-armed worlds, `Auto` otherwise.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_pmm_wired(
+        name: String,
+        pmm: Arc<dyn Pmm>,
+        me: NodeId,
+        peers: Vec<NodeId>,
+        host: HostModel,
+        stats: Arc<Stats>,
+        tracer: Arc<Tracer>,
+        wire_mode: WireMode,
+    ) -> Arc<Self> {
+        let pool = BufPool::new(Arc::clone(&stats));
+        Self::with_shared_pool(name, pmm, me, peers, host, stats, pool, tracer, wire_mode)
+    }
+
     /// [`with_pmm`](Self::with_pmm) sharing an externally created tracer,
     /// so the protocol module underneath (e.g. the gateway's Generic TM)
     /// can record failover events into the same stream the channel's
@@ -243,8 +269,9 @@ impl Channel {
         stats: Arc<Stats>,
         tracer: Arc<Tracer>,
     ) -> Arc<Self> {
-        let pool = BufPool::new(Arc::clone(&stats));
-        Self::with_shared_pool(name, pmm, me, peers, host, stats, pool, tracer)
+        // No adapter to interrogate: stay on the classic layouts unless
+        // the caller opts in through `with_pmm_wired`.
+        Self::with_pmm_wired(name, pmm, me, peers, host, stats, tracer, WireMode::Classic)
     }
 
     pub fn name(&self) -> &str {
@@ -293,6 +320,12 @@ impl Channel {
         self.host
     }
 
+    /// The wire format this channel negotiated (identical on every
+    /// member; see [`crate::wire`]).
+    pub fn wire(&self) -> WireVersion {
+        self.wire
+    }
+
     /// Start recording Switch/commit/checkout events on this channel.
     pub fn enable_trace(&self) {
         self.tracer.enable();
@@ -313,6 +346,7 @@ impl Channel {
             stats: &self.stats,
             tracer: &self.tracer,
             ack_tag: stripe_ack_tag(self.ack_base, sender, block),
+            wire: self.wire,
         }
     }
 
@@ -327,6 +361,7 @@ impl Channel {
             host: &self.host,
             me: self.me,
             policy: &self.sched.batch,
+            wire: self.wire,
         }
     }
 
@@ -514,14 +549,15 @@ impl Channel {
             // The header is built directly in pooled memory: no stack
             // staging array, no per-message allocation — a warm 64-byte
             // slab per send.
-            let mut header = self.pool.checkout(HEADER_LEN);
+            let hdr = wire::encode_msg_header(self.wire, self.me, seq);
+            let mut header = self.pool.checkout(hdr.len());
             {
-                // The whole header goes on the wire and recycled slabs
-                // carry stale bytes, so the reserved tail is written too.
+                // Every encoded byte goes on the wire and recycled slabs
+                // carry stale bytes, so the full span is written.
                 let h = header.spare_mut();
-                h[..HEADER_LEN].copy_from_slice(&encode_header(self.me, seq));
+                h[..hdr.len()].copy_from_slice(&hdr);
             }
-            header.advance(HEADER_LEN);
+            header.advance(hdr.len());
             let e = match msg.pack_internal(header) {
                 Ok(()) => return Ok(msg),
                 Err(e) => e,
@@ -697,41 +733,56 @@ impl Channel {
     }
 
     /// Read and validate the internal message header of `msg`.
+    ///
+    /// On the compact wire the header is variable-length and the TMs
+    /// deliver exact-length reads, so the receiver *predicts*: it encodes
+    /// the header the sender must have produced (same source — the
+    /// announcing connection; same sequence number — the connection's
+    /// expected counter) and receives exactly those bytes. Matching bytes
+    /// prove source and sequence in one comparison; a mismatch is decoded
+    /// field-by-field for a precise diagnostic.
     fn check_header(&self, msg: &mut IncomingMessage<'_, '_>) -> MadResult<()> {
         let src = msg.src;
-        let mut header = [0u8; HEADER_LEN];
-        msg.unpack_internal(&mut header)?;
-        // If the wait went through an interrupt path, the wakeup latency
-        // counts from the arrival we just synchronized with.
-        time::advance(crate::polling::take_pending_wakeup_charge());
-        let magic = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
-        if magic != HEADER_MAGIC {
-            return Err(MadError::corrupt(format!(
-                "corrupt message header on channel {:?} (asymmetric pack/unpack?)",
-                self.name
-            )));
-        }
-        let hdr_src = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
-        if hdr_src != src {
-            return Err(MadError::corrupt(format!(
-                "header source does not match announcing connection on {:?}",
-                self.name
-            )));
-        }
-        let seq = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
         let Some(conn) = self.conns.get(src) else {
             return Err(MadError::corrupt(format!(
                 "message from node {src}, which is not a member of channel {:?}",
                 self.name
             )));
         };
-        if !conn.accept_recv_seq(seq) {
-            return Err(MadError::corrupt(format!(
-                "message sequence gap from node {src} on channel {:?}",
-                self.name
-            )));
+        let expect = wire::encode_msg_header(self.wire, src, conn.expected_recv_seq());
+        let mut header = [0u8; HEADER_LEN];
+        let got = &mut header[..expect.len()];
+        msg.unpack_internal(got)?;
+        // If the wait went through an interrupt path, the wakeup latency
+        // counts from the arrival we just synchronized with.
+        time::advance(crate::polling::take_pending_wakeup_charge());
+        if *got != *expect {
+            return Err(self.diagnose_header(src, got));
         }
+        let accepted = conn.accept_recv_seq(conn.expected_recv_seq());
+        debug_assert!(accepted, "single-open-incoming guard held");
         Ok(())
+    }
+
+    /// Name the field a mismatched header differs in, mirroring the
+    /// classic per-field validation.
+    fn diagnose_header(&self, src: NodeId, got: &[u8]) -> MadError {
+        let Ok(h) = wire::decode_msg_header(self.wire, got) else {
+            return MadError::corrupt(format!(
+                "corrupt message header on channel {:?} (asymmetric pack/unpack?)",
+                self.name
+            ));
+        };
+        if h.src != src {
+            return MadError::corrupt(format!(
+                "header source does not match announcing connection on {:?}",
+                self.name
+            ));
+        }
+        MadError::corrupt(format!(
+            "message sequence gap from node {src} on channel {:?} (got seq {})",
+            self.name, h.seq
+        ))
     }
 
     // ------------------------------------------------------------------
@@ -829,6 +880,7 @@ impl Channel {
             me: self.me,
             host: self.host,
             ack_base: self.ack_base,
+            wire: self.wire,
             frames,
             pending: None,
             started: false,
@@ -966,6 +1018,7 @@ struct MessageSendOp {
     me: NodeId,
     host: HostModel,
     ack_base: u64,
+    wire: WireVersion,
     frames: VecDeque<FrameStep>,
     pending: Option<PendingFrame>,
     started: bool,
@@ -999,6 +1052,7 @@ impl MessageSendOp {
             host: &self.host,
             me: self.me,
             policy: &self.sched.batch,
+            wire: self.wire,
         }
     }
 
@@ -1079,7 +1133,7 @@ impl OpStep for MessageSendOp {
                     let conn = self.conns.get(self.dst).expect("membership checked");
                     let seq = conn.next_send_seq();
                     (
-                        Bytes::copy_from_slice(&encode_header(self.me, seq)),
+                        Bytes::copy_from_slice(&wire::encode_msg_header(self.wire, self.me, seq)),
                         SendMode::Cheaper,
                         RecvMode::Express,
                     )
@@ -1123,6 +1177,7 @@ impl OpStep for MessageSendOp {
                             self.me,
                             conn.next_tx_stripe_block(),
                         ),
+                        wire: self.wire,
                     };
                     if let Err(e) = rail::stripe_send(&ctx, self.dst, &data) {
                         return StepOutcome::Failed(e);
@@ -1378,9 +1433,14 @@ impl<'c, 'a> OutgoingMessage<'c, 'a> {
     }
 
     /// Pack a library-internal block (always `(CHEAPER, EXPRESS)`).
+    ///
+    /// Classification (batch eligibility, TM selection) runs on the
+    /// canonical `HEADER_LEN`, not the encoded length: the compact
+    /// header's length depends on the sequence number, which the
+    /// receiver's mirrored classification cannot know yet.
     fn pack_internal(&mut self, data: PooledBuf) -> MadResult<()> {
         let chan = self.chan;
-        if chan.batchable(data.len(), SendMode::Cheaper, self.rail) {
+        if chan.batchable(HEADER_LEN, SendMode::Cheaper, self.rail) {
             // The message header opens the message, so no BMM can be open
             // yet; it joins the batch *without* an express flush — the
             // header alone announces nothing the peer can act on, and
@@ -1392,7 +1452,7 @@ impl<'c, 'a> OutgoingMessage<'c, 'a> {
             return Ok(());
         }
         let pmm = chan.rails[self.rail].pmm();
-        self.switch_to(pmm.select(data.len(), SendMode::Cheaper, RecvMode::Express))?;
+        self.switch_to(pmm.select(HEADER_LEN, SendMode::Cheaper, RecvMode::Express))?;
         let bmm = self.bmm.as_mut().expect("switched");
         bmm.pack_pooled(data)?;
         bmm.flush()
@@ -1666,16 +1726,18 @@ impl<'c, 'a> IncomingMessage<'c, 'a> {
         self.bmm.as_mut().expect("switched").unpack_express_now(dst)
     }
 
-    /// Unpack a library-internal block (mirror of `pack_internal`).
+    /// Unpack a library-internal block (mirror of `pack_internal`,
+    /// including its canonical-`HEADER_LEN` classification; `dst` is the
+    /// predicted encoded length, which may be shorter).
     fn unpack_internal(&mut self, dst: &mut [u8]) -> MadResult<()> {
         let chan = self.chan;
-        if chan.batchable(dst.len(), SendMode::Cheaper, self.rail) {
+        if chan.batchable(HEADER_LEN, SendMode::Cheaper, self.rail) {
             debug_assert!(self.bmm.is_none(), "header unpacked mid-message");
             let ctx = chan.batch_ctx(self.src, self.rail);
             return batch::recv_into(&ctx, self.src, dst);
         }
         let pmm = chan.rails[self.rail].pmm();
-        self.switch_to(pmm.select(dst.len(), SendMode::Cheaper, RecvMode::Express))?;
+        self.switch_to(pmm.select(HEADER_LEN, SendMode::Cheaper, RecvMode::Express))?;
         self.bmm.as_mut().expect("switched").unpack_express_now(dst)
     }
 

@@ -117,6 +117,16 @@ impl Connection {
         true
     }
 
+    /// Peek the next expected incoming sequence number without consuming
+    /// it. Compact-wire receivers use this to *predict* the exact header
+    /// bytes the peer must have sent (variable-length headers cannot be
+    /// length-prefixed on exact-read transmission modules); the number is
+    /// only consumed via [`accept_recv_seq`](Self::accept_recv_seq) once
+    /// the bytes match.
+    pub(crate) fn expected_recv_seq(&self) -> u32 {
+        self.recv_seq.load(Ordering::Acquire)
+    }
+
     /// Claim the send-side id of the next striped block toward the peer.
     pub(crate) fn next_tx_stripe_block(&self) -> u64 {
         self.tx_stripe_blocks.fetch_add(1, Ordering::Relaxed)

@@ -84,6 +84,7 @@ pub mod stats;
 pub mod tm;
 pub mod trace;
 pub mod typed;
+pub mod wire;
 
 pub use batch::{BatchPolicy, FlushReason};
 pub use channel::{Channel, IncomingMessage, OutgoingMessage, HEADER_LEN};
@@ -97,3 +98,4 @@ pub use progress::{Completion, CompletionQueue, Completions, OpId, OpState, Prog
 pub use rail::Rail;
 pub use session::Madeleine;
 pub use stats::{Stats, StatsSnapshot};
+pub use wire::{WireMode, WireVersion};

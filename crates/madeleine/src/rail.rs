@@ -43,15 +43,18 @@ use crate::pmm::Pmm;
 use crate::pool::BufPool;
 use crate::stats::Stats;
 use crate::trace::{TraceEvent, Tracer};
+use crate::wire::{self, WireVersion};
 use madsim_net::time::{self, ClockHandle, VDuration, VTime};
 use madsim_net::{Adapter, Frame, NodeId};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-/// Size of the per-chunk stripe header.
-pub const STRIPE_HDR_LEN: usize = 16;
-const STRIPE_MAGIC: u32 = 0x4D52_4C53; // "SLRM" ("MRLS" on the LE wire)
+/// Size of the *classic* per-chunk stripe header — and the canonical
+/// length both ends feed the symmetric TM selection for stripe headers of
+/// either wire version (the compact encoding is shorter and varies with
+/// the chunk's offset). The layout itself lives in [`crate::wire`].
+pub use crate::wire::STRIPE_HDR_LEN;
 
 /// Frame kind of stripe-layer chunk acknowledgments. Stacks use small
 /// kind values; this lives far above them so the shared mailbox never
@@ -148,7 +151,10 @@ impl Rail {
         }
     }
 
-    fn faulty(&self) -> bool {
+    /// Is the rail's world fault-armed? World-global (a `FaultPlan`
+    /// covers every adapter identically), so any rail answers for the
+    /// whole channel — the wire-version negotiation relies on that.
+    pub(crate) fn faulty(&self) -> bool {
         self.adapter.as_ref().is_some_and(|a| a.faulty())
     }
 
@@ -253,6 +259,10 @@ pub(crate) struct StripeCtx<'c> {
     /// from their per-connection stripe-block counters, so no extra wire
     /// traffic is needed to agree on it.
     pub ack_tag: u64,
+    /// The owning channel's negotiated wire format. Compact implies a
+    /// fault-free world, i.e. the mirror (deterministic-layout) receive
+    /// path — the dynamic path needs the self-described classic header.
+    pub wire: WireVersion,
 }
 
 /// One stripe chunk as an `(offset, len)` span of the source block.
@@ -350,12 +360,11 @@ fn send_span(
 ) -> (Vec<ChunkSpan>, Vec<ChunkSpan>) {
     let mut sent = Vec::with_capacity(span.len());
     for (i, &(off, len)) in span.iter().enumerate() {
-        if send_chunk(ctx, rail, dst, off, len, data).is_err() {
+        let Ok(hdr_len) = send_chunk(ctx, rail, dst, off, len, data) else {
             return (sent, span[i..].to_vec());
-        }
+        };
         ctx.stats.record_borrowed(len);
-        ctx.stats
-            .record_rail_traffic(rail.id(), STRIPE_HDR_LEN + len);
+        ctx.stats.record_rail_traffic(rail.id(), hdr_len + len);
         sent.push((off, len));
     }
     (sent, Vec::new())
@@ -363,6 +372,9 @@ fn send_span(
 
 /// Send one chunk: stripe header on the protocol's small path, then the
 /// payload by reference through the TM the Switch picks for its size.
+/// Returns the header's wire length (it varies on the compact wire). The
+/// header's TM is selected on the canonical [`STRIPE_HDR_LEN`] for both
+/// versions — the receiver classifies before knowing the chunk span.
 fn send_chunk(
     ctx: &StripeCtx<'_>,
     rail: &Rail,
@@ -370,12 +382,8 @@ fn send_chunk(
     off: usize,
     len: usize,
     data: &[u8],
-) -> MadResult<()> {
-    let mut hdr = [0u8; STRIPE_HDR_LEN];
-    hdr[0..4].copy_from_slice(&STRIPE_MAGIC.to_le_bytes());
-    hdr[4..8].copy_from_slice(&(rail.id() as u32).to_le_bytes());
-    hdr[8..12].copy_from_slice(&(off as u32).to_le_bytes());
-    hdr[12..16].copy_from_slice(&(len as u32).to_le_bytes());
+) -> MadResult<usize> {
+    let hdr = wire::encode_stripe_header(ctx.wire, rail.id(), off, len);
     let hdr_tm = rail
         .pmm
         .select(STRIPE_HDR_LEN, SendMode::Cheaper, RecvMode::Express);
@@ -384,7 +392,7 @@ fn send_chunk(
     rail.pmm.tm(tm).send_buffer(dst, &data[off..off + len])?;
     ctx.stats.record_buffer_sent();
     ctx.stats.record_tm_traffic(tm, len);
-    Ok(())
+    Ok(hdr.len())
 }
 
 /// Collect this round's chunk acks (fault-armed fabrics only). Returns
@@ -417,8 +425,7 @@ fn wait_acks(
             break;
         };
         time::advance_to(frame.arrival);
-        if frame.payload.len() >= 8 {
-            let off = u64::from_le_bytes(frame.payload[..8].try_into().expect("8 bytes"));
+        if let Some(off) = wire::decode_stripe_ack(&frame.payload) {
             pending.remove(&off);
         }
     }
@@ -460,18 +467,14 @@ fn stripe_recv_mirror(ctx: &StripeCtx<'_>, src: NodeId, dst: &mut [u8]) -> MadRe
             let Some(&(exp_off, exp_len)) = queues[r].front() else {
                 continue;
             };
-            let (off, len) = recv_stripe_header(&ctx.rails[r], src)?;
-            if (off, len) != (exp_off, exp_len) {
-                return Err(MadError::corrupt(format!(
-                    "stripe chunk ({off}, {len}) from node {src} does not match \
-                     the deterministic layout (expected ({exp_off}, {exp_len}))"
-                )));
-            }
+            recv_stripe_header_expected(ctx, &ctx.rails[r], src, exp_off, exp_len)?;
             let rail = &ctx.rails[r];
-            let tm = rail.pmm.select(len, SendMode::Cheaper, RecvMode::Cheaper);
+            let tm = rail
+                .pmm
+                .select(exp_len, SendMode::Cheaper, RecvMode::Cheaper);
             rail.pmm.tm(tm).prefetch(src);
             queues[r].pop_front();
-            awaiting[r] = Some((off, len));
+            awaiting[r] = Some((exp_off, exp_len));
         }
         let r = c % n;
         let (off, len) = awaiting[r].take().expect("harvested just above");
@@ -480,7 +483,50 @@ fn stripe_recv_mirror(ctx: &StripeCtx<'_>, src: NodeId, dst: &mut [u8]) -> MadRe
         rail.pmm
             .tm(tm)
             .receive_buffer(src, &mut dst[off..off + len])?;
-        ctx.stats.record_rail_traffic(r, STRIPE_HDR_LEN + len);
+        let hdr_len = wire::encode_stripe_header(ctx.wire, r, off, len).len();
+        ctx.stats.record_rail_traffic(r, hdr_len + len);
+    }
+    Ok(())
+}
+
+/// Receive one stripe header whose fields the mirror layout fully
+/// predicts. The receiver encodes the expected header, reads exactly that
+/// many bytes, and compares — which is what makes the variable-length
+/// compact header receivable at all over exact-read transmission modules
+/// (and on the classic wire is equivalent to the field checks).
+fn recv_stripe_header_expected(
+    ctx: &StripeCtx<'_>,
+    rail: &Rail,
+    src: NodeId,
+    exp_off: usize,
+    exp_len: usize,
+) -> MadResult<()> {
+    match ctx.wire {
+        WireVersion::Classic => {
+            let (off, len) = recv_stripe_header_classic(rail, src)?;
+            if (off, len) != (exp_off, exp_len) {
+                return Err(MadError::corrupt(format!(
+                    "stripe chunk ({off}, {len}) from node {src} does not match \
+                     the deterministic layout (expected ({exp_off}, {exp_len}))"
+                )));
+            }
+        }
+        WireVersion::Compact => {
+            let expect = wire::encode_stripe_header(ctx.wire, rail.id(), exp_off, exp_len);
+            let tm = rail
+                .pmm
+                .select(STRIPE_HDR_LEN, SendMode::Cheaper, RecvMode::Express);
+            let mut hdr = [0u8; STRIPE_HDR_LEN];
+            let got = &mut hdr[..expect.len()];
+            rail.pmm.tm(tm).receive_buffer(src, got)?;
+            if *got != *expect {
+                return Err(MadError::corrupt(format!(
+                    "stripe chunk from node {src} does not match the deterministic \
+                     layout (expected ({exp_off}, {exp_len}) on rail {})",
+                    rail.id()
+                )));
+            }
+        }
     }
     Ok(())
 }
@@ -514,7 +560,7 @@ fn stripe_recv_dynamic(ctx: &StripeCtx<'_>, src: NodeId, dst: &mut [u8]) -> MadR
             if rail.pmm.poll_incoming() != Some(src) {
                 continue;
             }
-            match recv_stripe_header(rail, src) {
+            match recv_stripe_header_classic(rail, src) {
                 Ok((off, len)) => {
                     if off + len > total {
                         return Err(MadError::corrupt(format!(
@@ -550,6 +596,8 @@ fn stripe_recv_dynamic(ctx: &StripeCtx<'_>, src: NodeId, dst: &mut [u8]) -> MadR
                     if got.insert(off) {
                         received += len;
                     }
+                    // Dynamic reassembly runs only on fault-armed (hence
+                    // classic-wire) channels: fixed header length.
                     ctx.stats.record_rail_traffic(r, STRIPE_HDR_LEN + len);
                     send_ack(ctx, src, off);
                     progressed = true;
@@ -569,28 +617,21 @@ fn stripe_recv_dynamic(ctx: &StripeCtx<'_>, src: NodeId, dst: &mut [u8]) -> MadR
     Ok(())
 }
 
-/// Receive and validate one stripe header on `rail`.
-fn recv_stripe_header(rail: &Rail, src: NodeId) -> MadResult<(usize, usize)> {
+/// Receive and validate one *classic* (self-described) stripe header on
+/// `rail` — the dynamic reassembly path, which cannot predict the span.
+fn recv_stripe_header_classic(rail: &Rail, src: NodeId) -> MadResult<(usize, usize)> {
     let tm = rail
         .pmm
         .select(STRIPE_HDR_LEN, SendMode::Cheaper, RecvMode::Express);
     let mut hdr = [0u8; STRIPE_HDR_LEN];
     rail.pmm.tm(tm).receive_buffer(src, &mut hdr)?;
-    let magic = u32::from_le_bytes(hdr[0..4].try_into().expect("4 bytes"));
-    if magic != STRIPE_MAGIC {
-        return Err(MadError::corrupt(format!(
-            "bad stripe header magic from node {src} (asymmetric pack/unpack?)"
-        )));
-    }
-    let hdr_rail = u32::from_le_bytes(hdr[4..8].try_into().expect("4 bytes")) as usize;
+    let (hdr_rail, off, len) = wire::decode_stripe_header_classic(&hdr, src)?;
     if hdr_rail != rail.id() {
         return Err(MadError::corrupt(format!(
             "stripe header for rail {hdr_rail} arrived on rail {}",
             rail.id()
         )));
     }
-    let off = u32::from_le_bytes(hdr[8..12].try_into().expect("4 bytes")) as usize;
-    let len = u32::from_le_bytes(hdr[12..16].try_into().expect("4 bytes")) as usize;
     Ok((off, len))
 }
 
@@ -609,7 +650,7 @@ fn send_ack(ctx: &StripeCtx<'_>, dst: NodeId, off: usize) {
         kind: KIND_STRIPE_ACK,
         tag: ctx.ack_tag,
         arrival: time::now() + VDuration::from_micros_f64(ACK_LAT_US),
-        payload: bytes::Bytes::copy_from_slice(&(off as u64).to_le_bytes()),
+        payload: bytes::Bytes::copy_from_slice(&wire::encode_stripe_ack(off)),
     };
     adapter.send_raw_control(dst, frame);
 }

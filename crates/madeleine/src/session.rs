@@ -122,6 +122,7 @@ impl Madeleine {
                 tracer,
                 idx as u64,
                 config.poll.0,
+                spec.wire,
             );
             channels.insert(spec.name.clone(), channel);
         }

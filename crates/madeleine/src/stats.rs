@@ -127,6 +127,13 @@ pub struct Stats {
     batch_flush_full: AtomicU64,
     batch_flush_explicit: AtomicU64,
     batch_flush_deadline: AtomicU64,
+    /// Total on-wire bytes of flushed batch frames (headers + envelope
+    /// tables + payloads). With `batch_payload_bytes` this exposes the
+    /// framing overhead per wire version, the quantity the compact codec
+    /// exists to shrink.
+    batch_frame_bytes: AtomicU64,
+    /// Payload bytes carried inside those frames.
+    batch_payload_bytes: AtomicU64,
 }
 
 impl Stats {
@@ -247,6 +254,24 @@ impl Stats {
             crate::batch::FlushReason::Deadline => &self.batch_flush_deadline,
         };
         ctr.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Account one flushed batch frame's on-wire size: `frame` total
+    /// bytes, of which `payload` were packet payloads (the rest is
+    /// framing — header plus envelope table).
+    pub fn record_batch_bytes(&self, frame: usize, payload: usize) {
+        self.batch_frame_bytes
+            .fetch_add(frame as u64, Ordering::Relaxed);
+        self.batch_payload_bytes
+            .fetch_add(payload as u64, Ordering::Relaxed);
+    }
+
+    pub fn batch_frame_bytes(&self) -> u64 {
+        self.batch_frame_bytes.load(Ordering::Relaxed)
+    }
+
+    pub fn batch_payload_bytes(&self) -> u64 {
+        self.batch_payload_bytes.load(Ordering::Relaxed)
     }
 
     pub fn batches(&self) -> u64 {
@@ -394,6 +419,8 @@ impl Stats {
             batch_flush_full: self.batch_flush_full.load(Ordering::Relaxed),
             batch_flush_explicit: self.batch_flush_explicit.load(Ordering::Relaxed),
             batch_flush_deadline: self.batch_flush_deadline.load(Ordering::Relaxed),
+            batch_frame_bytes: self.batch_frame_bytes(),
+            batch_payload_bytes: self.batch_payload_bytes(),
         }
     }
 }
@@ -423,6 +450,8 @@ pub struct StatsSnapshot {
     pub batch_flush_full: u64,
     pub batch_flush_explicit: u64,
     pub batch_flush_deadline: u64,
+    pub batch_frame_bytes: u64,
+    pub batch_payload_bytes: u64,
 }
 
 impl StatsSnapshot {
@@ -451,6 +480,8 @@ impl StatsSnapshot {
             batch_flush_full: self.batch_flush_full - earlier.batch_flush_full,
             batch_flush_explicit: self.batch_flush_explicit - earlier.batch_flush_explicit,
             batch_flush_deadline: self.batch_flush_deadline - earlier.batch_flush_deadline,
+            batch_frame_bytes: self.batch_frame_bytes - earlier.batch_frame_bytes,
+            batch_payload_bytes: self.batch_payload_bytes - earlier.batch_payload_bytes,
         }
     }
 }
@@ -546,14 +577,20 @@ mod tests {
         s.record_batch(FlushReason::Express, 2);
         s.record_batch(FlushReason::Deadline, 3);
         s.record_batch(FlushReason::Explicit, 1);
+        s.record_batch_bytes(200, 176);
+        s.record_batch_bytes(100, 90);
         assert_eq!(s.batches(), 4);
         assert_eq!(s.batched_packets(), 22);
         assert_eq!(s.batch_flush_reasons(), (1, 1, 1, 1));
+        assert_eq!(s.batch_frame_bytes(), 300);
+        assert_eq!(s.batch_payload_bytes(), 266);
         let d = s.snapshot().since(&StatsSnapshot::default());
         assert_eq!(d.batches, 4);
         assert_eq!(d.batched_packets, 22);
         assert_eq!(d.batch_flush_full, 1);
         assert_eq!(d.batch_flush_deadline, 1);
+        assert_eq!(d.batch_frame_bytes, 300);
+        assert_eq!(d.batch_payload_bytes, 266);
     }
 
     #[test]

@@ -22,6 +22,20 @@ for f in crates/madsim-net/src/mailbox.rs \
     fi
 done
 
+# Wire-codec lint: every header that crosses a wire is encoded by
+# crates/madeleine/src/wire.rs — a raw `to_le_bytes(` creeping back into
+# the header-emitting files means someone is hand-rolling a layout the
+# codec (and its version negotiation) no longer controls.
+for f in crates/madeleine/src/channel.rs \
+         crates/madeleine/src/rail.rs \
+         crates/madeleine/src/batch.rs \
+         crates/mad-gateway/src/*.rs; do
+    if grep -q 'to_le_bytes(' "$f"; then
+        echo "verify: FAIL — raw to_le_bytes() header write in $f (use madeleine::wire)" >&2
+        exit 1
+    fi
+done
+
 # Chaos stage: the robustness layer under seeded fault injection, run
 # explicitly so a regression here is named even when the suite is filtered.
 cargo test -q -p mad-integration --test chaos
@@ -47,6 +61,13 @@ test -s BENCH_overlap.json
 # ping-burst and that a batching-off run never touches the batch layer.
 cargo run --release -p bench --bin batch -- --out BENCH_batch.json
 test -s BENCH_batch.json
+
+# Collectives stage: topology-aware hierarchical trees vs the flat
+# baselines across a simulated gateway — the binary asserts >= 1.5x for
+# hierarchical bcast and allreduce at 64 ranks and that the modeled
+# 1k-rank point keeps hierarchical at or below flat.
+cargo run --release -p bench --bin collectives -- --out BENCH_collectives.json
+test -s BENCH_collectives.json
 
 # Hot-path stage: the concurrency primitives themselves, in real time —
 # the binary asserts the sharded mailbox moves the 4-peer small-message

@@ -318,13 +318,16 @@ proptest! {
         offset in 0usize..(1 << 24),
     ) {
         use mad_gateway::FragHeader;
+        use madeleine::WireVersion;
         let h = FragHeader {
             src,
             dst,
             len,
             offset,
         };
-        prop_assert_eq!(FragHeader::decode(&h.encode()), h);
+        for v in [WireVersion::Classic, WireVersion::Compact] {
+            prop_assert_eq!(FragHeader::decode(v, &h.encode(v)), h);
+        }
     }
 
     /// PerfCurve interpolation stays within the bracketing anchors and is
